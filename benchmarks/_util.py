@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table/figure of the paper (see DESIGN.md's
+per-experiment index), prints it, and saves it under ``benchmarks/results/``
+so EXPERIMENTS.md can quote actual output.  Benchmarks run once per session
+(``pedantic(rounds=1)``): the interesting measurements are simulated-clock
+quantities recorded in ``extra_info``, not wall time.
+
+Scale with ``REPRO_SCALE`` (default 1.0 = the scaled paper datasets;
+0.25 for a quick pass).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_result(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,73 @@
+"""Ablation: the Tcn-based combine-candidate policy (§4.2.3).
+
+The paper argues the combined node must be picked by the smallest covered-
+children count Tcn <= 3t, or neighbours grow fast and split repeatedly.
+Compares the Tcn policy against a worst-pick policy (largest Tcn) on the
+same load and reports splits and write amplification.
+"""
+
+import pytest
+
+from benchmarks._util import run_once, save_result
+from repro.bench.report import format_table
+from repro.bench.scale import KEY_SIZE, SSD_100G
+from repro.common.options import IamOptions
+from repro.core.lsa import LsaTree
+from repro.core.node import children_slice
+from repro.db.iamdb import IamDB
+from repro.workloads import hash_load
+
+
+class _WorstPickTree(LsaTree):
+    """Adversarial combine policy: always destroy the widest-covered node."""
+
+    def _combine_one(self, level: int) -> float:
+        lst = self.levels[level]
+        if len(lst) < 3:
+            return super()._combine_one(level)
+        kids = self.levels[level + 1]
+        worst = None
+        for idx in range(1, len(lst) - 1):
+            i0, _ = children_slice(lst, kids, idx - 1)
+            _, j1 = children_slice(lst, kids, idx + 1)
+            tcn = j1 - i0
+            if worst is None or tcn > worst[0]:
+                worst = (tcn, idx)
+        self.combines += 1
+        self.runtime.metrics.bump("combine")
+        return self._flush_node(level, lst[worst[1]], destroy=True)
+
+
+def _measure():
+    n = SSD_100G.n_records
+    out = {}
+    for label in ("tcn-policy", "worst-pick"):
+        db = IamDB("lsa", storage_options=SSD_100G.storage_options(),
+                   engine_options=IamOptions(key_size=KEY_SIZE))
+        if label == "worst-pick":
+            # Swap the combine policy in place (same options, same runtime).
+            db.engine._combine_one = _WorstPickTree._combine_one.__get__(db.engine)
+        hash_load(db, n, quiesce=False)
+        out[label] = {
+            "splits": db.engine.splits,
+            "combines": db.engine.combines,
+            "wa": db.write_amplification(),
+            "max_flush_fanout": db.engine.max_flush_fanout,
+        }
+        db.close()
+    return out
+
+
+def test_combine_policy_limits_splits(benchmark):
+    out = run_once(benchmark, _measure)
+    rows = [[k, d["combines"], d["splits"], d["max_flush_fanout"],
+             round(d["wa"], 2)] for k, d in out.items()]
+    table = format_table(["policy", "combines", "splits", "max fan-out", "WA"],
+                         rows, title="Ablation (measured): combine candidate policy")
+    save_result("ablation_combine", table)
+    benchmark.extra_info["results"] = out
+
+    good, bad = out["tcn-policy"], out["worst-pick"]
+    # The Tcn policy never does worse on splits or write amplification.
+    assert good["splits"] <= bad["splits"]
+    assert good["wa"] <= bad["wa"] * 1.05

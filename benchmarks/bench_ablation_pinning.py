@@ -1,0 +1,57 @@
+"""Ablation: §5.1.3 forcible caching of appended sequences.
+
+"If all appended sequences are forcibly cached, a scan takes at most one
+disk seek for a node in each level."  Compares IAM with and without pinning
+on the short-scan workload (E): pinning should cut scan seeks per operation
+toward the LSM level, at the cost of cache capacity for everything else.
+"""
+
+import pytest
+
+from benchmarks._util import run_once, save_result
+from repro.bench.report import format_table
+from repro.bench.scale import HDD_100G, KEY_SIZE
+from repro.common.options import IamOptions
+from repro.db.iamdb import IamDB
+from repro.workloads import hash_load, run_ycsb
+from repro.workloads.ycsb import YCSB_WORKLOADS
+
+
+def _measure():
+    out = {}
+    n = HDD_100G.n_records
+    for label, pin in (("plain", False), ("pinned", True)):
+        db = IamDB("iam",
+                   engine_options=IamOptions(key_size=KEY_SIZE,
+                                             pin_appended_sequences=pin),
+                   storage_options=HDD_100G.storage_options())
+        hash_load(db, n, quiesce=False)
+        db.quiesce()
+        seeks0 = db.metrics.query_seeks
+        scans0 = db.metrics.latency["scan"].count
+        rep = run_ycsb(db, YCSB_WORKLOADS["E"], 400, n)
+        n_scans = db.metrics.latency["scan"].count - scans0
+        out[label] = {
+            "seeks_per_scan": (db.metrics.query_seeks - seeks0) / max(1, n_scans),
+            "scan_p99_ms": rep.latency.get("scan", {}).get("p99", 0.0) * 1e3,
+            "throughput": rep.throughput,
+            "pinned_blocks": db.runtime.cache.pinned_blocks(),
+        }
+        db.close()
+    return out
+
+
+def test_pinning_reduces_scan_seeks(benchmark):
+    out = run_once(benchmark, _measure)
+    rows = [[k, round(d["seeks_per_scan"], 2), round(d["scan_p99_ms"], 3),
+             round(d["throughput"], 0), d["pinned_blocks"]]
+            for k, d in out.items()]
+    table = format_table(
+        ["config", "seeks/scan", "scan p99 ms", "ops/s", "pinned blocks"],
+        rows, title="Ablation (measured): forcible caching of appended sequences")
+    save_result("ablation_pinning", table)
+    benchmark.extra_info["results"] = out
+
+    assert out["pinned"]["pinned_blocks"] > 0
+    assert out["pinned"]["seeks_per_scan"] <= out["plain"]["seeks_per_scan"]
+    assert out["pinned"]["scan_p99_ms"] <= out["plain"]["scan_p99_ms"] * 1.05

@@ -1,0 +1,53 @@
+"""Ablation: the m/k tuner across memory sizes (extends Table 3 / §5.1.3).
+
+More memory -> higher mixed level and/or larger k -> smaller write
+amplification; the tuner should move monotonically with the cache size.
+"""
+
+import dataclasses
+
+import pytest
+
+from benchmarks._util import run_once, save_result
+from repro.bench.report import format_table
+from repro.bench.scale import KEY_SIZE, SSD_100G, ScaledSetup
+from repro.common.options import IamOptions, StorageOptions
+from repro.db.iamdb import IamDB
+from repro.workloads import hash_load
+
+
+def _measure():
+    out = {}
+    n = SSD_100G.n_records
+    for mem_factor in (0.25, 1.0, 4.0):
+        mem = int(SSD_100G.memory_bytes * mem_factor)
+        db = IamDB("iam",
+                   engine_options=IamOptions(key_size=KEY_SIZE),
+                   storage_options=StorageOptions(device=SSD_100G.device,
+                                                  page_cache_bytes=mem))
+        hash_load(db, n, quiesce=False)
+        out[mem_factor] = {
+            "memory_mb": mem / 1e6,
+            "m": db.engine.m,
+            "k": db.engine.k,
+            "wa": db.write_amplification(),
+        }
+        db.close()
+    return out
+
+
+def test_tuner_tracks_memory(benchmark):
+    out = run_once(benchmark, _measure)
+    rows = [[f, round(d["memory_mb"], 2), d["m"], d["k"], round(d["wa"], 2)]
+            for f, d in sorted(out.items())]
+    table = format_table(["mem x", "memory MB", "m", "k", "WA"], rows,
+                         title="Ablation (measured): m/k tuning vs memory size")
+    save_result("ablation_tuning", table)
+    benchmark.extra_info["results"] = out
+
+    small, base, big = out[0.25], out[1.0], out[4.0]
+    # (m, k) grows lexicographically with memory.
+    assert (big["m"], big["k"]) >= (base["m"], base["k"]) >= (small["m"], small["k"])
+    # ... and write amplification falls.
+    assert big["wa"] <= base["wa"] + 0.05
+    assert base["wa"] <= small["wa"] + 0.05

@@ -1,0 +1,43 @@
+"""Figure 8: stable throughputs of query-intensive workloads (100 GB, SSD).
+
+"Stable" = measured after all compaction debt is drained (the tuning phase
+has completed), which is the state most favourable to the LSM baselines.
+Paper shape: B/C/D roughly at parity; E collapses for LSA (~2.9x worse) and
+matches LevelDB for IAM; G close to parity with a mild LSA deficit.
+"""
+
+import pytest
+
+from benchmarks._util import run_once, save_result
+from repro.bench.harness import exp_fig8
+from repro.bench.report import format_table, normalize_to
+from repro.bench.scale import SSD_100G
+
+CONFIGS = ("L", "R-1t", "A-1t", "I-1t")
+WORKLOADS = ("B", "C", "D", "E", "G")
+
+
+def test_fig8_stable_throughput(benchmark):
+    result = run_once(benchmark, lambda: exp_fig8(SSD_100G, WORKLOADS, CONFIGS))
+    norm = {}
+    rows = []
+    for w in WORKLOADS:
+        tp = {c: r.throughput for c, r in result[w].items()}
+        norm[w] = normalize_to("L", tp)
+        rows.append([w, round(tp["L"], 0)] + [round(norm[w][c], 2) for c in CONFIGS])
+    table = format_table(["workload", "L ops/s"] + list(CONFIGS), rows,
+                         title="Figure 8 (measured): stable throughput, SSD-100G, normalized to L")
+    save_result("fig8", table)
+    benchmark.extra_info["normalized"] = norm
+
+    # Stable read throughputs are nearly the same (paper §6.4).
+    for w in ("B", "C"):
+        assert 0.6 < norm[w]["I-1t"] < 1.8
+        assert 0.6 < norm[w]["A-1t"] < 1.8
+    # Short scans: LSA clearly behind IAM (paper: 2.9x worse than LevelDB).
+    assert norm["E"]["A-1t"] < 0.9 * norm["E"]["I-1t"]
+    # IAM stays within a workable band of LevelDB on scans.  (Paper: parity;
+    # our LRU does not give appended sequences the cache preference the
+    # paper's hot/cold access pattern produces, so IAM pays a bit more --
+    # see EXPERIMENTS.md deviations.)
+    assert norm["E"]["I-1t"] > 0.45

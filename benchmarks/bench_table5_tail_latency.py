@@ -1,0 +1,55 @@
+"""Table 5: 99th-percentile latencies for query-intensive workloads.
+
+Paper shape: IamDB (IAM) takes first or second place in nearly every cell;
+LSA wins on point-read workloads but loses badly on scans (E/G); the HDD
+latencies dwarf the SSD ones.
+"""
+
+import pytest
+
+from benchmarks._util import run_once, save_result
+from repro.bench.harness import exp_table5
+from repro.bench.report import format_table
+from repro.bench.scale import HDD_100G, HDD_1T, SSD_100G
+
+CONFIGS = ("L", "R-1t", "A-1t", "I-1t")
+WORKLOADS = ("B", "C", "D", "E", "G")
+SETUPS = (SSD_100G, HDD_100G, HDD_1T)
+
+
+def _fmt(seconds: float) -> str:
+    return f"{seconds * 1000:.3f}ms"
+
+
+def test_table5_tail_latency(benchmark):
+    result = run_once(benchmark, lambda: exp_table5(SETUPS, WORKLOADS, CONFIGS))
+    rows = []
+    for w in WORKLOADS:
+        for c in CONFIGS:
+            cell = result[w][c]
+            rows.append([w, c] + [_fmt(cell[s.name]) for s in SETUPS])
+    table = format_table(["workload", "config"] + [s.name for s in SETUPS],
+                         rows, title="Table 5 (measured): p99 latency per workload/config")
+    save_result("table5", table)
+    benchmark.extra_info["p99"] = {
+        w: {c: result[w][c] for c in CONFIGS} for w in WORKLOADS}
+
+    for w in WORKLOADS:
+        for c in CONFIGS:
+            # HDD is far slower than SSD at the tail (seek-dominated reads).
+            assert result[w][c]["HDD-100G"] > result[w][c]["SSD-100G"]
+    # Scan workloads: IAM's tail beats LSA's everywhere (the paper's Table 5
+    # shape -- LSA "usually much worse than the others", IAM competitive).
+    for setup in ("SSD-100G", "HDD-100G", "HDD-1T"):
+        for w in ("E", "G"):
+            tails = {c: result[w][c][setup] for c in CONFIGS}
+            assert tails["A-1t"] > tails["I-1t"]
+            # IAM within a workable factor of the LSM baselines (our device
+            # model compresses cross-engine p99 contrast under pure-read
+            # load; see EXPERIMENTS.md deviations).
+            assert tails["I-1t"] < 3.0 * tails["L"]
+    # Point-read workloads: all engines' p99 within a tight band (one seek).
+    for w in ("B", "C"):
+        for setup in ("HDD-100G",):
+            tails = [result[w][c][setup] for c in CONFIGS]
+            assert max(tails) < 2.0 * min(tails)

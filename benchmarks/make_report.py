@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Assemble benchmarks/results/*.txt into one measured-results appendix.
+
+Run after a benchmark sweep:
+
+    pytest benchmarks/ --benchmark-only
+    python benchmarks/make_report.py           # writes results/REPORT.md
+"""
+
+from __future__ import annotations
+
+import datetime
+import os
+from pathlib import Path
+
+RESULTS = Path(__file__).parent / "results"
+
+ORDER = [
+    ("table1", "Table 1 — amplifications"),
+    ("table2", "Table 2 / §6.8 — append-tree characteristics"),
+    ("table3", "Table 3 — IAM per-level WA vs k"),
+    ("table4", "Table 4 — per-level WA, 1 TB hash load"),
+    ("fig6", "Figure 6 — hash-load throughput"),
+    ("fig7_SSD-100G", "Figure 7a — YCSB, SSD-100G"),
+    ("fig7_HDD-100G", "Figure 7b — YCSB, HDD-100G"),
+    ("fig7_HDD-1T", "Figure 7c — YCSB, HDD-1T"),
+    ("fig8", "Figure 8 — stable throughput"),
+    ("table5", "Table 5 — p99 latencies"),
+    ("fig9", "Figure 9 — fillseq / readseq"),
+    ("fig10", "Figure 10 — space usage"),
+    ("load_latency", "§6.2 — load-latency tail"),
+    ("ablation_model", "Ablation — Eq. 3/4 vs measured"),
+    ("ablation_tuning", "Ablation — m/k tuner vs memory"),
+    ("ablation_combine", "Ablation — combine candidate policy"),
+    ("ablation_pinning", "Ablation — §5.1.3 forcible caching"),
+]
+
+
+def main() -> int:
+    lines = [
+        "# Measured results",
+        "",
+        f"Generated {datetime.datetime.now().isoformat(timespec='seconds')} "
+        f"with REPRO_SCALE={os.environ.get('REPRO_SCALE', '1.0')}.",
+        "",
+    ]
+    missing = []
+    for stem, title in ORDER:
+        path = RESULTS / f"{stem}.txt"
+        lines.append(f"## {title}")
+        lines.append("")
+        if path.exists():
+            lines.append("```text")
+            lines.append(path.read_text().rstrip())
+            lines.append("```")
+        else:
+            lines.append("*(missing — benchmark not run)*")
+            missing.append(stem)
+        lines.append("")
+    out = RESULTS / "REPORT.md"
+    out.write_text("\n".join(lines))
+    print(f"wrote {out} ({len(ORDER) - len(missing)}/{len(ORDER)} sections)")
+    if missing:
+        print("missing:", ", ".join(missing))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

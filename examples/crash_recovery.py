@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Durability walk-through: WAL + manifest recovery (§6's "persistent,
+crash-recovery ... storage library").
+
+Writes data in three phases, crashing between them, and verifies that every
+acknowledged write survives -- including tombstones and records that were
+sitting only in the memtable when the crash hit.
+
+Run:  python examples/crash_recovery.py
+"""
+
+import random
+
+from repro import IamDB
+
+
+def main() -> None:
+    db = IamDB.create("iam")
+    rng = random.Random(2026)
+    expected = {}
+
+    for phase in range(1, 4):
+        for _ in range(3000):
+            key = rng.randrange(2000)
+            if rng.random() < 0.15:
+                db.delete(key)
+                expected.pop(key, None)
+            else:
+                value = rng.randrange(64, 512)
+                db.put(key, value)
+                expected[key] = value
+        in_memtable = len(db.memtable)
+        db.crash_and_recover()
+        survived = sum(1 for k, v in expected.items() if db.get(k) == v)
+        missing = sum(1 for k in range(2000)
+                      if db.get(k) != expected.get(k))
+        print(f"phase {phase}: crashed with {in_memtable} memtable records; "
+              f"{survived}/{len(expected)} live keys recovered, "
+              f"{missing} mismatches")
+        assert missing == 0
+
+    rows = db.scan(None, None)
+    assert rows == sorted(expected.items())
+    print(f"\nfinal scan: {len(rows)} rows, all consistent with the oracle")
+    print(f"recoveries performed: {db.metrics.events['recovery']}")
+    db.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so the
+package can be installed editable (``python setup.py develop`` /
+``pip install -e .``) on machines without the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""repro: IamDB -- a reproduction of "On Integration of Appends and Merges in
+Log-Structured Merge Trees" (Gong, He, Gong, Lei; ICPP 2019).
+
+Public surface:
+
+* :class:`repro.db.IamDB` -- the key-value store (engines: ``iam``, ``lsa``,
+  ``leveldb``, ``rocksdb``, ``flsm``).
+* :mod:`repro.common.options` -- configuration (:class:`IamOptions`,
+  :class:`LsmOptions`, :class:`StorageOptions`, device profiles).
+* :mod:`repro.workloads` -- YCSB A-G and db_bench workload generators.
+* :mod:`repro.analysis` -- the paper's closed-form amplification model.
+* :mod:`repro.bench` -- the experiment harness regenerating every table and
+  figure (see DESIGN.md / EXPERIMENTS.md).
+"""
+
+from repro.common.options import (
+    HDD,
+    SSD,
+    DeviceProfile,
+    IamOptions,
+    LsaOptions,
+    LsmOptions,
+    StorageOptions,
+)
+from repro.db import IamDB, Snapshot
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HDD",
+    "SSD",
+    "DeviceProfile",
+    "IamDB",
+    "IamOptions",
+    "LsaOptions",
+    "LsmOptions",
+    "Snapshot",
+    "StorageOptions",
+    "__version__",
+]

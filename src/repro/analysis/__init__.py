@@ -1,0 +1,23 @@
+"""Closed-form amplification model from §5.3."""
+
+from repro.analysis.model import (
+    AmplificationSummary,
+    iam_read_amplification,
+    iam_write_amplification,
+    lsa_read_amplification,
+    lsa_write_amplification,
+    lsm_write_amplification,
+    split_write_amplification,
+    table1_summary,
+)
+
+__all__ = [
+    "AmplificationSummary",
+    "iam_read_amplification",
+    "iam_write_amplification",
+    "lsa_read_amplification",
+    "lsa_write_amplification",
+    "lsm_write_amplification",
+    "split_write_amplification",
+    "table1_summary",
+]

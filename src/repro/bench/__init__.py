@@ -1,0 +1,21 @@
+"""Experiment harness regenerating the paper's tables and figures."""
+
+from repro.bench.scale import (
+    HDD_100G,
+    HDD_1T,
+    SSD_100G,
+    ScaledSetup,
+    make_db,
+    scale_factor,
+)
+from repro.bench.report import format_table
+
+__all__ = [
+    "HDD_100G",
+    "HDD_1T",
+    "SSD_100G",
+    "ScaledSetup",
+    "format_table",
+    "make_db",
+    "scale_factor",
+]

@@ -1,0 +1,35 @@
+"""Plain-text table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 *, title: str = "") -> str:
+    """Render an aligned ASCII table (the way the paper's tables read)."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(v: object) -> str:
+    if isinstance(v, float):
+        return f"{v:.3f}" if abs(v) < 1000 else f"{v:.1f}"
+    return str(v)
+
+
+def normalize_to(baseline_key: str, values: Dict[str, float]) -> Dict[str, float]:
+    """Normalize a metric dict to one entry (the paper normalizes to LevelDB)."""
+    base = values.get(baseline_key, 0.0)
+    if base == 0.0:
+        return {k: 0.0 for k in values}
+    return {k: v / base for k, v in values.items()}

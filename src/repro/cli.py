@@ -1,0 +1,209 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``load``         hash-load records into an engine and report WA/throughput
+``fillseq``      sequential load
+``ycsb``         run a YCSB workload (A-G) on a freshly loaded store
+``compare``      run one load across several engines side by side
+``experiment``   regenerate a paper table/figure via the bench harness
+``info``         print the scaled configuration in effect
+
+Examples
+--------
+
+::
+
+    python -m repro load --engine iam --records 50000 --device hdd
+    python -m repro ycsb --workload E --engine lsa --ops 2000
+    python -m repro compare --records 30000 --engines L R-1t A-1t I-1t
+    python -m repro experiment table3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import harness
+from repro.bench.report import format_table, normalize_to
+from repro.bench.scale import (
+    ENGINE_CONFIGS,
+    HDD_100G,
+    HDD_1T,
+    KEY_SIZE,
+    SSD_100G,
+    make_db,
+)
+from repro.common.options import HDD, IamOptions, LsaOptions, LsmOptions, SSD, StorageOptions
+from repro.db.iamdb import IamDB
+from repro.workloads import YCSB_WORKLOADS, fill_seq, hash_load, run_ycsb
+
+ENGINES = ("iam", "lsa", "leveldb", "rocksdb", "flsm", "lsmtrie")
+SETUPS = {"ssd-100g": SSD_100G, "hdd-100g": HDD_100G, "hdd-1t": HDD_1T}
+
+
+def _build_db(engine: str, device: str, memory_mb: float, threads: int) -> IamDB:
+    dev = HDD if device == "hdd" else SSD
+    storage = StorageOptions(device=dev, page_cache_bytes=int(memory_mb * 1e6))
+    if engine in ("iam", "lsa"):
+        opts = IamOptions(key_size=KEY_SIZE, background_threads=threads)
+    elif engine == "lsmtrie":
+        opts = LsaOptions(key_size=KEY_SIZE, background_threads=threads)
+    elif engine == "rocksdb":
+        opts = LsmOptions.rocksdb(key_size=KEY_SIZE, background_threads=threads)
+    else:
+        opts = LsmOptions.leveldb(key_size=KEY_SIZE, background_threads=threads)
+    return IamDB(engine, engine_options=opts, storage_options=storage)
+
+
+def _report_rows(rep, db) -> list:
+    ins = db.metrics.latency.get("insert")
+    return [
+        round(rep.write_amplification, 3),
+        round(rep.throughput),
+        f"{ins.p99() * 1e6:.1f}us" if ins and ins.count else "-",
+        f"{ins.max * 1e3:.2f}ms" if ins and ins.count else "-",
+        round(rep.space_used_bytes / 1e6, 2),
+    ]
+
+
+def cmd_load(args) -> int:
+    db = _build_db(args.engine, args.device, args.memory_mb, args.threads)
+    fn = fill_seq if args.sequential else hash_load
+    rep = fn(db, args.records, quiesce=args.quiesce)
+    print(format_table(
+        ["engine", "WA", "ops/s", "p99", "max", "space MB"],
+        [[args.engine] + _report_rows(rep, db)],
+        title=f"{'fillseq' if args.sequential else 'hash load'} of "
+              f"{args.records} records ({args.device})"))
+    print("\nstructure:", db.engine.describe())
+    db.close()
+    return 0
+
+
+def cmd_ycsb(args) -> int:
+    spec = YCSB_WORKLOADS[args.workload.upper()]
+    db = _build_db(args.engine, args.device, args.memory_mb, args.threads)
+    hash_load(db, args.records, quiesce=False)
+    rep = run_ycsb(db, spec, args.ops, args.records)
+    print(f"YCSB-{spec.name} on {args.engine} ({args.device}): "
+          f"{rep.throughput:,.0f} ops/s over {rep.sim_seconds * 1e3:.2f} sim-ms")
+    for op, digest in sorted(rep.latency.items()):
+        print(f"  {op:>7}: n={digest['count']:>7.0f} "
+              f"p50={digest['p50'] * 1e6:9.1f}us "
+              f"p99={digest['p99'] * 1e6:9.1f}us "
+              f"max={digest['max'] * 1e3:9.2f}ms")
+    db.close()
+    return 0
+
+
+def cmd_compare(args) -> int:
+    rows = []
+    tps = {}
+    for config in args.engines:
+        if config not in ENGINE_CONFIGS:
+            print(f"unknown config {config!r}; choose from "
+                  f"{', '.join(ENGINE_CONFIGS)}", file=sys.stderr)
+            return 2
+        db = make_db(config, SETUPS[args.setup])
+        rep = hash_load(db, args.records, quiesce=False)
+        tps[config] = rep.throughput
+        rows.append([config] + _report_rows(rep, db))
+        db.close()
+    norm = normalize_to(args.engines[0], tps)
+    for row, config in zip(rows, args.engines):
+        row.append(round(norm[config], 2))
+    print(format_table(
+        ["config", "WA", "ops/s", "p99", "max", "space MB",
+         f"vs {args.engines[0]}"],
+        rows, title=f"hash load x{args.records} on {args.setup}"))
+    return 0
+
+
+EXPERIMENTS = {
+    "table3": lambda: harness.exp_table3(),
+    "table4": lambda: harness.exp_table4(),
+    "fig6": lambda: harness.exp_fig6(),
+    "fig8": lambda: harness.exp_fig8(),
+    "fig9": lambda: harness.exp_fig9(),
+    "fig10": lambda: harness.exp_fig10(),
+    "load-latency": lambda: harness.exp_load_latency(),
+    "flsm": lambda: harness.exp_flsm_seqwrite(),
+}
+
+
+def cmd_experiment(args) -> int:
+    fn = EXPERIMENTS.get(args.name)
+    if fn is None:
+        print(f"unknown experiment {args.name!r}; choose from "
+              f"{', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    result = fn()
+    import pprint
+    pprint.pprint(result)
+    return 0
+
+
+def cmd_info(args) -> int:
+    from repro.bench.scale import RECORD_BYTES, scale_factor
+    print(f"REPRO_SCALE = {scale_factor()}")
+    print(f"record bytes = {RECORD_BYTES}")
+    for name, setup in SETUPS.items():
+        print(f"{name}: data {setup.data_bytes / 1e6:.2f} MB "
+              f"({setup.n_records} records), "
+              f"memory {setup.memory_bytes / 1e6:.2f} MB, "
+              f"device {setup.device.name}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def common(sp):
+        sp.add_argument("--engine", choices=ENGINES, default="iam")
+        sp.add_argument("--device", choices=("ssd", "hdd"), default="ssd")
+        sp.add_argument("--records", type=int, default=30_000)
+        sp.add_argument("--memory-mb", type=float,
+                        default=SSD_100G.memory_bytes / 1e6)
+        sp.add_argument("--threads", type=int, default=1)
+
+    sp = sub.add_parser("load", help="hash-load records, report amplifications")
+    common(sp)
+    sp.add_argument("--sequential", action="store_true")
+    sp.add_argument("--quiesce", action="store_true")
+    sp.set_defaults(fn=cmd_load)
+
+    sp = sub.add_parser("ycsb", help="run a YCSB workload")
+    common(sp)
+    sp.add_argument("--workload", choices=list("ABCDEFG") + list("abcdefg"),
+                    default="A")
+    sp.add_argument("--ops", type=int, default=3000)
+    sp.set_defaults(fn=cmd_ycsb)
+
+    sp = sub.add_parser("compare", help="one load across engine configs")
+    sp.add_argument("--engines", nargs="+",
+                    default=["L", "R-1t", "A-1t", "I-1t"])
+    sp.add_argument("--records", type=int, default=30_000)
+    sp.add_argument("--setup", choices=list(SETUPS), default="ssd-100g")
+    sp.set_defaults(fn=cmd_compare)
+
+    sp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    sp.add_argument("name", choices=list(EXPERIMENTS))
+    sp.set_defaults(fn=cmd_experiment)
+
+    sp = sub.add_parser("info", help="print the scaled configuration")
+    sp.set_defaults(fn=cmd_info)
+    return p
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Exception hierarchy for the repro library."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An option value is invalid or a combination of options is inconsistent."""
+
+
+class CorruptionError(ReproError):
+    """Simulated on-disk state failed an integrity check."""
+
+
+class InvariantViolation(ReproError):
+    """An internal structural invariant was broken (always a bug)."""
+
+
+class StoreClosedError(ReproError):
+    """Operation attempted on a closed database."""

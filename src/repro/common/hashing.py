@@ -1,0 +1,19 @@
+"""64-bit mixing shared by Bloom filters, workloads and the LSM-trie.
+
+``splitmix64`` is a bijective finalizer over the 64-bit integers: unique,
+well-spread outputs for distinct inputs.  The workload generators use it to
+turn ordered insert counters into collision-free unordered keys (the YCSB
+hash load, §6.2); the LSM-trie uses it as its placement hash.
+"""
+
+from __future__ import annotations
+
+MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def splitmix64(x: int) -> int:
+    """Scalar splitmix64 finalizer (bijective on 64-bit integers)."""
+    z = (x + 0x9E3779B97F4A7C15) & MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & MASK64
+    return z ^ (z >> 31)

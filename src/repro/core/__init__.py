@@ -1,0 +1,15 @@
+"""The paper's contribution: the LSA-tree and IAM-tree engines.
+
+* :class:`~repro.core.lsa.LsaTree` -- the Log-Structured Append-tree (§4).
+* :class:`~repro.core.iam.IamTree` -- the Integrated Append/Merge-tree (§5).
+* :mod:`repro.core.tuning` -- the m/k tuner (Eq. 1-2).
+* :class:`~repro.core.engine.EngineBase` -- the engine interface shared with
+  the baseline LSM implementations in :mod:`repro.lsm`.
+"""
+
+from repro.core.engine import EngineBase
+from repro.core.iam import IamTree
+from repro.core.lsa import LsaTree
+from repro.core.tuning import tune_m_k
+
+__all__ = ["EngineBase", "IamTree", "LsaTree", "tune_m_k"]

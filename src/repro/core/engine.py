@@ -1,0 +1,103 @@
+"""Engine interface shared by LSA/IAM and the baseline LSM engines.
+
+An engine owns the on-disk structure.  The DB wrapper (:mod:`repro.db`) owns
+the WAL and memtable and hands full memtables over through
+:meth:`EngineBase.submit_flush`; everything below that line -- compaction
+scheduling, reads, invariants -- is the engine's business.
+
+Scheduling contract: the engine registers itself as the background pool's
+*provider*; whenever a background thread goes idle the pool asks
+:meth:`EngineBase.pick_background_job` for the next compaction.  Structural
+mutation happens when a job activates (see :mod:`repro.storage.background`).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.common.records import RecordTuple
+from repro.storage.background import BackgroundJob
+from repro.storage.runtime import Runtime
+
+#: Callable returning the live snapshot sequence numbers (for merge GC).
+SnapshotProvider = Callable[[], Sequence[int]]
+
+
+class EngineBase(abc.ABC):
+    """Common surface of every storage engine in this repo."""
+
+    name: str = "engine"
+
+    def __init__(self, runtime: Runtime) -> None:
+        self.runtime = runtime
+        self.snapshots_provider: SnapshotProvider = tuple
+        runtime.pool.set_provider(self.pick_background_job)
+
+    # ------------------------------------------------------------------ write
+    @property
+    @abc.abstractmethod
+    def memtable_capacity(self) -> int:
+        """Bytes after which the DB rotates the memtable (Ct / write_buffer)."""
+
+    @abc.abstractmethod
+    def submit_flush(self, records: List[RecordTuple], nbytes: int) -> BackgroundJob:
+        """Schedule the flush of a full (immutable) memtable."""
+
+    def write_gate(self, nbytes: int) -> float:
+        """Apply engine-specific slowdowns/stops before a user write.
+
+        ``nbytes`` is the write's encoded size (slowdowns pace by bytes).
+        Returns the simulated latency spent gated (0.0 when unobstructed).
+        """
+        return 0.0
+
+    # ------------------------------------------------------------- background
+    @abc.abstractmethod
+    def pick_background_job(self) -> Optional[BackgroundJob]:
+        """Offer the next compaction job, or None when nothing is demanded."""
+
+    def quiesce(self) -> float:
+        """Finish all background work; returns elapsed simulated time."""
+        return self.runtime.pool.drain_all()
+
+    # ------------------------------------------------------------------- read
+    @abc.abstractmethod
+    def get(self, key, snapshot: Optional[int] = None) -> Tuple[Optional[RecordTuple], float]:
+        """Newest visible on-disk version of ``key``; (record|None, latency)."""
+
+    @abc.abstractmethod
+    def scan_runs(self, lo_key, hi_key) -> Tuple[List[List[RecordTuple]], float]:
+        """Eagerly-read sorted runs covering [lo, hi] (tests/diagnostics)."""
+
+    @abc.abstractmethod
+    def scan_cursors(self, lo_key, hi_key) -> List[Iterable[RecordTuple]]:
+        """Lazily-charging sorted iterators covering [lo, hi] (inclusive).
+
+        One iterator per independently-seeking component (each L0 file, each
+        deeper level); the DB's merging iterator combines them.  I/O is
+        charged -- with read-ahead -- as records are consumed, so a
+        limit-bounded scan pays only for what it reads.
+        """
+
+    # ------------------------------------------------------------- inspection
+    @abc.abstractmethod
+    def level_data_bytes(self) -> Dict[int, int]:
+        """Live data bytes per level (the paper's D_j)."""
+
+    @abc.abstractmethod
+    def check_invariants(self) -> None:
+        """Raise InvariantViolation when the structure is inconsistent."""
+
+    @abc.abstractmethod
+    def describe(self) -> Dict[str, object]:
+        """Structure digest for reports and tests."""
+
+    # --------------------------------------------------------------- recovery
+    @abc.abstractmethod
+    def checkpoint_state(self) -> object:
+        """Durable structure snapshot for the manifest."""
+
+    @abc.abstractmethod
+    def restore_state(self, state: object) -> None:
+        """Rebuild the structure from a manifest checkpoint."""

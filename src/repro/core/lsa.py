@@ -1,0 +1,583 @@
+"""The Log-Structured Append-tree (§4).
+
+LSA compacts with appends: a memtable flush partitions its run among the
+target level's nodes and *appends* each part as a new sequence, so every
+user byte is written roughly once per on-disk level (Eq. 3).  Three
+operations maintain the structure:
+
+* **flush** (§4.2.1) -- move a full node's data to its children; with no
+  children the node itself moves down by a metadata edit (the sequential-
+  write fast path); at the leaf level full children are merged and re-split
+  into nodes of the initial size ``Ct/5`` (Figure 4).
+* **split** (§4.2.2) -- a full node with ``2t`` children rewrites itself into
+  two half nodes, bounding the worst write case (Table 2).
+* **combine** (§4.2.3) -- when a level exceeds its ``t^i`` node budget, the
+  candidate with the smallest covered-children count ``Tcn <= 3t`` flushes
+  its data down and disappears; neighbours adopt its children evenly.
+
+The subclass hook pair ``_should_merge_internal`` / ``_should_merge_leaf``
+is what IAM overrides (§5): LSA never merges internally and merges a leaf
+child only once it is full.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import InvariantViolation
+from repro.common.options import LsaOptions
+from repro.common.records import KEY, RecordTuple, encoded_size
+from repro.core.engine import EngineBase
+from repro.core.node import (
+    LsaNode,
+    children_of,
+    children_slice,
+    count_children,
+    level_find_node,
+    level_insert_sorted,
+    level_overlapping,
+    partition_records,
+)
+from repro.storage.background import BackgroundJob
+from repro.storage.runtime import Runtime
+from repro.table.merge import merge_runs
+
+
+class LsaTree(EngineBase):
+    """Log-Structured Append-tree engine."""
+
+    name = "lsa"
+
+    def __init__(self, options: LsaOptions, runtime: Runtime) -> None:
+        super().__init__(runtime)
+        self.options = options
+        #: levels[0] is unused (L0 is the memtable, held by the DB wrapper);
+        #: levels[1..n] are the on-disk levels, n == leaf.
+        self.levels: List[List[LsaNode]] = [[], []]
+        self.n = 1
+        self.flushes = 0
+        self.splits = 0
+        self.combines = 0
+        self.move_downs = 0
+        self.appends = 0
+        self.merges = 0
+        #: Largest child fan-out any flush actually wrote into -- the paper's
+        #: "worst write case" metric (Table 2); splits keep it near 2t.
+        self.max_flush_fanout = 0
+
+    # ------------------------------------------------------------------ write
+    @property
+    def memtable_capacity(self) -> int:
+        return self.options.node_capacity
+
+    def submit_flush(self, records: List[RecordTuple], nbytes: int) -> BackgroundJob:
+        def start() -> float:
+            return self._ingest(records)
+
+        return self.runtime.submit_job("lsa-ingest", start, high_priority=True)
+
+    def pick_background_job(self) -> Optional[BackgroundJob]:
+        # All structural work happens inside the flush job; LSA has no
+        # standing compaction demand.
+        return None
+
+    # ----------------------------------------------------------------- ingest
+    def _ingest(self, records: List[RecordTuple]) -> float:
+        """Flush one memtable run (the L0 node) into the tree."""
+        debt = self._ensure_structure()
+        self.flushes += 1
+        lo, hi = records[0][KEY], records[-1][KEY]
+        # The L0 node's children are the L1 nodes overlapping the run's span
+        # (§4.1); with no children (sequential writes) the run moves down as
+        # a brand-new node and is written to disk exactly once.
+        debt += self._flush_into(
+            1, lambda: level_overlapping(self.levels[1], lo, hi), records)
+        return debt
+
+    def _ensure_structure(self) -> float:
+        """Pre-processing (§4.2.3): deepen on leaf overflow, then combine."""
+        opts = self.options
+        debt = 0.0
+        while len(self.levels[self.n]) >= opts.level_node_threshold(self.n):
+            self.n += 1
+            self.levels.append([])
+            self.runtime.metrics.bump("deepen")
+            self._on_deepen()
+        for i in range(1, self.n):
+            guard = 0
+            while len(self.levels[i]) > opts.level_node_threshold(i):
+                guard += 1
+                if guard > 10_000:
+                    raise InvariantViolation(f"combine loop at L{i} did not converge")
+                debt += self._combine_one(i)
+        return debt
+
+    def _on_deepen(self) -> None:
+        """Subclass hook: the tree grew a level (IAM retunes m)."""
+
+    # ------------------------------------------------------------- flush core
+    def _flush_into(self, target_level: int, children_fn: Callable[[], List[LsaNode]],
+                    records: List[RecordTuple]) -> float:
+        """Partition ``records`` among ``children_fn()`` nodes at ``target_level``.
+
+        Resolves the flush preconditions first (§4.2.1): at an internal
+        target, every full child is flushed -- or split when it already has
+        ``2t`` children -- before any data lands.
+        """
+        opts = self.options
+        debt = 0.0
+        if target_level < self.n:
+            guard = 0
+            while True:
+                guard += 1
+                if guard > 10_000:
+                    raise InvariantViolation("full-children resolution did not converge")
+                kids = children_fn()
+                full = [k for k in kids if k.nbytes >= opts.node_capacity]
+                if not full:
+                    break
+                child = full[0]
+                if self._count_children_of(target_level, child) >= opts.split_children_threshold:
+                    debt += self._split_node(target_level, child)
+                else:
+                    debt += self._flush_node(target_level, child)
+        kids = children_fn()
+        if not kids:
+            return debt + self._create_node_from_run(target_level, records)
+        if len(kids) > self.max_flush_fanout:
+            self.max_flush_fanout = len(kids)
+        leaf = target_level == self.n
+        weights = None
+        if not leaf:
+            weights = [self._count_children_of(target_level, k) for k in kids]
+        parts = partition_records(records, kids, leaf=leaf, child_weights=weights)
+        for child, part in zip(list(kids), parts):
+            if not part:
+                continue
+            debt += self._place_part(target_level, child, part)
+        return debt
+
+    def _place_part(self, level: int, child: LsaNode, part: List[RecordTuple]) -> float:
+        leaf = level == self.n
+        if leaf:
+            if self._should_merge_leaf(child):
+                return self._merge_leaf_child(child, part)
+        else:
+            if self._should_merge_internal(level, child):
+                return self._merge_internal_child(level, child, part)
+        return self._append_to_child(level, child, part)
+
+    # ------------------------------------------------------------ policy hooks
+    def _should_merge_internal(self, level: int, child: LsaNode) -> bool:
+        return False  # LSA: appends only (IAM overrides, §5.1).
+
+    def _should_merge_leaf(self, child: LsaNode) -> bool:
+        return child.nbytes >= self.options.node_capacity  # full child (Fig. 4)
+
+    # -------------------------------------------------------------- placement
+    def _append_to_child(self, level: int, child: LsaNode, part: List[RecordTuple]) -> float:
+        table = child.ensure_table(self.runtime, key_size=self.options.key_size,
+                                   bloom_bits_per_key=self.options.bloom_bits_per_key)
+        seq, debt = table.append_sequence(part, level=level)
+        child.extend_range(part[0][KEY], part[-1][KEY])
+        self.appends += 1
+        self.runtime.metrics.bump("append")
+        self._after_append(level, child, seq)
+        return debt
+
+    def _after_append(self, level: int, child: LsaNode, seq) -> None:
+        """Subclass hook: a sequence was appended to ``child`` (IAM pins)."""
+
+    def _merge_internal_child(self, level: int, child: LsaNode,
+                              part: List[RecordTuple]) -> float:
+        """Rewrite an internal child as a single sequence (IAM's merge)."""
+        debt = 0.0
+        runs: List[List[RecordTuple]] = [part]
+        if not child.is_empty:
+            debt += child.table.compaction_read_debt()
+            runs.extend(s.records for s in child.table.sequences)
+        merged = merge_runs(runs, drop_tombstones=False,
+                            snapshots=self.snapshots_provider())
+        child.drop_table()
+        table = child.ensure_table(self.runtime, key_size=self.options.key_size,
+                                   bloom_bits_per_key=self.options.bloom_bits_per_key)
+        _, d = table.append_sequence(merged, level=level)
+        debt += d
+        child.extend_range(merged[0][KEY], merged[-1][KEY])
+        self.merges += 1
+        self.runtime.metrics.bump("merge:internal")
+        return debt
+
+    def _merge_leaf_child(self, child: LsaNode, part: List[RecordTuple]) -> float:
+        """Merge a leaf child with its assigned records (Figure 4).
+
+        The merged output replaces the child: split into fresh nodes of the
+        initial size ``Ct/5`` when it exceeds ``Ct``, kept whole otherwise.
+        """
+        opts = self.options
+        level = self.n
+        debt = 0.0
+        runs: List[List[RecordTuple]] = [part]
+        if not child.is_empty:
+            debt += child.table.compaction_read_debt()
+            runs.extend(s.records for s in child.table.sequences)
+        merged = merge_runs(runs, drop_tombstones=True,
+                            snapshots=self.snapshots_provider())
+        lst = self.levels[level]
+        lst.pop(self._node_index(level, child))  # bisect-based removal
+        child.drop_table()
+        if merged:
+            total = sum(encoded_size(r, opts.key_size) for r in merged)
+            chunk_bytes = opts.leaf_initial_bytes if total >= opts.node_capacity else total
+            for chunk in self._split_run(merged, chunk_bytes):
+                node = LsaNode(chunk[0][KEY], chunk[-1][KEY])
+                table = node.ensure_table(self.runtime, key_size=opts.key_size,
+                                          bloom_bits_per_key=opts.bloom_bits_per_key)
+                _, d = table.append_sequence(chunk, level=level)
+                debt += d
+                level_insert_sorted(lst, node)
+        self.merges += 1
+        self.runtime.metrics.bump("merge:leaf")
+        return debt
+
+    def _split_run(self, records: List[RecordTuple], max_bytes: int):
+        key_size = self.options.key_size
+        chunk: List[RecordTuple] = []
+        acc = 0
+        for rec in records:
+            sz = encoded_size(rec, key_size)
+            if acc + sz > max_bytes and chunk and chunk[-1][KEY] != rec[KEY]:
+                yield chunk
+                chunk = []
+                acc = 0
+            chunk.append(rec)
+            acc += sz
+        if chunk:
+            yield chunk
+
+    def _create_node_from_run(self, level: int, records: List[RecordTuple]) -> float:
+        """A run with no children becomes a new node (sequential fast path)."""
+        node = LsaNode(records[0][KEY], records[-1][KEY])
+        table = node.ensure_table(self.runtime, key_size=self.options.key_size,
+                                  bloom_bits_per_key=self.options.bloom_bits_per_key)
+        _, debt = table.append_sequence(records, level=level)
+        level_insert_sorted(self.levels[level], node)
+        self.runtime.metrics.bump("new_node")
+        return debt
+
+    # ------------------------------------------------------------- node flush
+    def _node_index(self, level: int, node: LsaNode) -> int:
+        lst = self.levels[level]
+        idx = bisect.bisect_right(lst, node.range_lo, key=lambda x: x.range_lo) - 1
+        if idx < 0 or lst[idx] is not node:
+            # Ranges may share range_lo transiently; fall back to a scan.
+            idx = lst.index(node)
+        return idx
+
+    def _count_children_of(self, level: int, node: LsaNode) -> int:
+        if level >= self.n:
+            return 0
+        idx = self._node_index(level, node)
+        return count_children(self.levels[level], self.levels[level + 1], idx)
+
+    def _flush_node(self, level: int, node: LsaNode, *, destroy: bool = False) -> float:
+        """Move a node's data to level+1 (§4.2.1); optionally destroy it."""
+        if level >= self.n:
+            raise InvariantViolation("leaf nodes are merged, never flushed")
+        lst = self.levels[level]
+        kids_lst = self.levels[level + 1]
+        idx = self._node_index(level, node)
+        # Data placement uses *overlap*-based children (§4.1: a child is a
+        # next-level node whose range overlaps the parent's): any record of
+        # this node that falls inside an existing next-level range must land
+        # in exactly that node, or ranges would overlap within the level.
+        over = level_overlapping(kids_lst, node.range_lo, node.range_hi)
+        if not over:
+            # Metadata-only move down (sequential-write fast path).
+            lst.pop(idx)
+            level_insert_sorted(kids_lst, node)
+            self.move_downs += 1
+            self.runtime.metrics.bump("move_down")
+            return 0.0
+
+        def kids_fn() -> List[LsaNode]:
+            return level_overlapping(self.levels[level + 1],
+                                     node.range_lo, node.range_hi)
+
+        debt = 0.0
+        if not node.is_empty:
+            debt += node.table.compaction_read_debt()
+            runs = [s.records for s in node.table.sequences]
+            records = merge_runs(runs, drop_tombstones=False,
+                                 snapshots=self.snapshots_provider())
+            node.drop_table()
+            if records:
+                debt += self._flush_into(level + 1, kids_fn, records)
+        if destroy:
+            self._remove_and_adopt(level, node)
+        else:
+            self._rebalance_with_siblings(level, node)
+        return debt
+
+    # ------------------------------------------------------------------ split
+    def _split_node(self, level: int, node: LsaNode) -> float:
+        """Rewrite a full node with >= 2t children into two halves (§4.2.2)."""
+        lst = self.levels[level]
+        idx = self._node_index(level, node)
+        kids = children_of(lst, self.levels[level + 1], idx) if level < self.n else []
+        if len(kids) < 2:
+            raise InvariantViolation("split needs at least two children")
+        # Boundary candidates must fall strictly inside the node's range:
+        # the first node of a level can own children whose range_lo lies left
+        # of its own range_lo, which would produce an invalid half.
+        mid = len(kids) // 2
+        candidates = [(abs(i - mid), i) for i in range(1, len(kids))
+                      if node.range_lo < kids[i].range_lo <= node.range_hi]
+        if not candidates:
+            # No valid cut point: fall back to a plain flush of the node.
+            return self._flush_node(level, node)
+        _, h = min(candidates)
+        boundary = kids[h].range_lo
+
+        debt = 0.0
+        records: List[RecordTuple] = []
+        if not node.is_empty:
+            debt += node.table.compaction_read_debt()
+            records = merge_runs([s.records for s in node.table.sequences],
+                                 drop_tombstones=False,
+                                 snapshots=self.snapshots_provider())
+        cut = bisect.bisect_left(records, boundary, key=lambda r: r[KEY])
+        rec_a, rec_b = records[:cut], records[cut:]
+
+        a_hi = kids[h - 1].range_lo
+        if rec_a and rec_a[-1][KEY] > a_hi:
+            a_hi = rec_a[-1][KEY]
+        if a_hi < node.range_lo:  # kids[h-1] may lie left of the node's range
+            a_hi = node.range_lo
+        node_a = LsaNode(node.range_lo, a_hi)
+        node_b = LsaNode(boundary, max(node.range_hi, boundary))
+
+        node.drop_table()
+        lst.pop(idx)
+        opts = self.options
+        for new_node, recs in ((node_a, rec_a), (node_b, rec_b)):
+            if recs:
+                table = new_node.ensure_table(self.runtime, key_size=opts.key_size,
+                                              bloom_bits_per_key=opts.bloom_bits_per_key)
+                _, d = table.append_sequence(recs, level=level)
+                debt += d
+            level_insert_sorted(lst, new_node)
+        self.splits += 1
+        self.runtime.metrics.bump("split")
+        return debt
+
+    # ---------------------------------------------------------------- combine
+    def _combine_one(self, level: int) -> float:
+        """Destroy one node of an over-budget level (§4.2.3)."""
+        lst = self.levels[level]
+        if len(lst) < 3:
+            # Degenerate: flush-and-destroy the last node.
+            victim = lst[-1]
+        else:
+            kids_lst = self.levels[level + 1]
+            limit = self.options.combine_tcn_factor * self.options.fanout
+            best_ok = None  # smallest Tcn among candidates with Tcn <= 3t
+            best_any = None  # fallback: smallest Tcn overall
+            for idx in range(1, len(lst) - 1):
+                i0, _ = children_slice(lst, kids_lst, idx - 1)
+                _, j1 = children_slice(lst, kids_lst, idx + 1)
+                tcn = j1 - i0
+                if best_any is None or tcn < best_any[0]:
+                    best_any = (tcn, idx)
+                if tcn <= limit and (best_ok is None or tcn < best_ok[0]):
+                    best_ok = (tcn, idx)
+            chosen = best_ok if best_ok is not None else best_any
+            victim = lst[chosen[1]]
+        self.combines += 1
+        self.runtime.metrics.bump("combine")
+        return self._flush_node(level, victim, destroy=True)
+
+    def _remove_and_adopt(self, level: int, node: LsaNode) -> None:
+        """Remove a combined node; neighbours adopt its children evenly."""
+        lst = self.levels[level]
+        idx = self._node_index(level, node)
+        if level < self.n:
+            i, j = children_slice(lst, self.levels[level + 1], idx)
+            gap_kids = self.levels[level + 1][i:j]
+        else:
+            gap_kids = []
+        lst.pop(idx)
+        # After the pop, lst[idx-1] is the left neighbour and lst[idx] (if it
+        # exists) the right one.  Give the right neighbour the second half of
+        # the orphaned children by moving its range_lo left (§4.2.3: "the
+        # ranges of the two neighbors extend evenly").
+        if gap_kids and idx < len(lst):
+            right = lst[idx]
+            h = len(gap_kids) // 2
+            new_lo = gap_kids[h].range_lo
+            data_min = right.data_min_key
+            left_hi = lst[idx - 1].range_hi if idx > 0 else None
+            if ((data_min is None or new_lo <= data_min)
+                    and (left_hi is None or left_hi < new_lo)
+                    and new_lo < right.range_lo):
+                right.range_lo = new_lo
+
+    # ------------------------------------------------------------- rebalance
+    def _rebalance_with_siblings(self, level: int, node: LsaNode) -> None:
+        """Even out child counts with adjacent siblings after a flush.
+
+        The flushed node is empty, so its boundary can move freely (§4.2.1:
+        "its key range usually remains unchanged but may be reduced").
+        """
+        if level >= self.n:
+            return
+        lst = self.levels[level]
+        idx = self._node_index(level, node)
+        if idx > 0:
+            self._balance_boundary(level, idx - 1, idx)
+            idx = self._node_index(level, node)
+        if idx < len(lst) - 1:
+            self._balance_boundary(level, idx, idx + 1)
+
+    def _balance_boundary(self, level: int, left_idx: int, right_idx: int) -> None:
+        """Move the boundary between two adjacent siblings to even out their
+        child counts, respecting each node's own data span."""
+        lst = self.levels[level]
+        kids_lst = self.levels[level + 1]
+        left, right = lst[left_idx], lst[right_idx]
+        li, lj = children_slice(lst, kids_lst, left_idx)
+        ri, rj = children_slice(lst, kids_lst, right_idx)
+        c_left, c_right = lj - li, rj - ri
+        if abs(c_left - c_right) < 2 or (c_left + c_right) < 2:
+            return
+        combined = kids_lst[li:rj]
+        h = len(combined) // 2
+        if h == 0 or h >= len(combined):
+            return
+        new_b = combined[h].range_lo
+        # Feasibility: the new boundary must respect both nodes' data spans
+        # and keep ranges disjoint and ordered.
+        left_data_max = left.data_max_key
+        right_data_min = right.data_min_key
+        if left_data_max is not None and left_data_max >= new_b:
+            return
+        if right_data_min is not None and right_data_min < new_b:
+            return
+        if new_b <= left.range_lo:
+            return
+        # Shrink/extend so that left.range_hi < new_b == right.range_lo.
+        new_left_hi = combined[h - 1].range_lo
+        if left_data_max is not None and left_data_max > new_left_hi:
+            new_left_hi = left_data_max
+        if new_left_hi < left.range_lo:
+            new_left_hi = left.range_lo
+        if not (new_left_hi < new_b):
+            return
+        if right_idx < len(lst) - 1 and new_b >= lst[right_idx + 1].range_lo:
+            return
+        left.range_hi = new_left_hi
+        right.range_lo = new_b
+        if right.range_hi < new_b:
+            right.range_hi = new_b
+        self.runtime.metrics.bump("rebalance")
+
+    # ------------------------------------------------------------------- read
+    def get(self, key, snapshot: Optional[int] = None) -> Tuple[Optional[RecordTuple], float]:
+        latency = 0.0
+        for level in range(1, self.n + 1):
+            node = level_find_node(self.levels[level], key)
+            if node is None or node.is_empty:
+                continue
+            rec, lat = node.table.get(key, snapshot)
+            latency += lat
+            if rec is not None:
+                return rec, latency
+        return None, latency
+
+    def scan_runs(self, lo_key, hi_key) -> Tuple[List[List[RecordTuple]], float]:
+        runs: List[List[RecordTuple]] = []
+        latency = 0.0
+        for level in range(1, self.n + 1):
+            for node in level_overlapping(self.levels[level], lo_key, hi_key):
+                if node.is_empty:
+                    continue
+                node_runs, lat = node.table.read_range(lo_key, hi_key)
+                latency += lat
+                runs.extend(node_runs)
+        return runs, latency
+
+    def scan_cursors(self, lo_key, hi_key) -> List:
+        cursors = []
+        for level in range(1, self.n + 1):
+            nodes = [nd for nd in level_overlapping(self.levels[level], lo_key, hi_key)
+                     if not nd.is_empty]
+            if nodes:
+                cursors.append(self._level_cursor(nodes, lo_key, hi_key))
+        return cursors
+
+    @staticmethod
+    def _level_cursor(nodes: List[LsaNode], lo_key, hi_key):
+        for node in nodes:
+            yield from node.table.cursor(lo_key, hi_key)
+
+    # ------------------------------------------------------------- inspection
+    def level_data_bytes(self) -> Dict[int, int]:
+        return {i: sum(node.nbytes for node in self.levels[i])
+                for i in range(1, self.n + 1)}
+
+    def level_node_counts(self) -> Dict[int, int]:
+        return {i: len(self.levels[i]) for i in range(1, self.n + 1)}
+
+    def max_children(self) -> int:
+        """Largest child count of any node (worst-write-case indicator)."""
+        worst = 0
+        for level in range(1, self.n):
+            parents = self.levels[level]
+            kids = self.levels[level + 1]
+            for idx in range(len(parents)):
+                i, j = children_slice(parents, kids, idx)
+                worst = max(worst, j - i)
+        return worst
+
+    def max_sequences_per_node(self) -> int:
+        return max((node.n_sequences
+                    for level in self.levels for node in level), default=0)
+
+    def check_invariants(self) -> None:
+        for i in range(1, self.n + 1):
+            lst = self.levels[i]
+            for a, b in zip(lst, lst[1:]):
+                if not a.range_hi < b.range_lo:
+                    raise InvariantViolation(
+                        f"L{i} ranges overlap/unsorted: {a!r} vs {b!r}")
+            for node in lst:
+                node.check_range_covers_data()
+        for extra in self.levels[self.n + 1:]:
+            if extra:
+                raise InvariantViolation("nodes beyond the leaf level")
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "engine": self.name,
+            "n_levels": self.n,
+            "levels": {i: {"nodes": len(self.levels[i]),
+                           "bytes": sum(nd.nbytes for nd in self.levels[i]),
+                           "max_seqs": max((nd.n_sequences for nd in self.levels[i]),
+                                           default=0)}
+                       for i in range(1, self.n + 1)},
+            "flushes": self.flushes,
+            "splits": self.splits,
+            "combines": self.combines,
+            "move_downs": self.move_downs,
+            "appends": self.appends,
+            "merges": self.merges,
+        }
+
+    # --------------------------------------------------------------- recovery
+    def checkpoint_state(self) -> object:
+        return {"n": self.n, "levels": [list(lvl) for lvl in self.levels]}
+
+    def restore_state(self, state: object) -> None:
+        self.n = state["n"]
+        self.levels = [list(lvl) for lvl in state["levels"]]

@@ -1,0 +1,215 @@
+"""LSA/IAM tree nodes and level bookkeeping (§4.1).
+
+A node owns a key range ``[range_lo, range_hi]`` (inclusive) and an MSTable
+holding its sequences; an *empty* node (just flushed) keeps its range but has
+no table.  Within a level, node ranges are disjoint and sorted -- a point
+read touches at most one node per level.
+
+Parenting rule: a node in ``L_{i+1}`` is the child of the ``L_i`` node with
+the greatest ``range_lo`` that is <= the child's ``range_lo`` (the first node
+when none qualifies).  This makes child assignment a contiguous partition of
+the lower level driven purely by range boundaries, so the paper's
+range-adjustment operations (flush rebalancing §4.2.1, combine adoption
+§4.2.3) are boundary moves with no pointer surgery.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional, Tuple
+
+from repro.common.errors import InvariantViolation
+from repro.common.records import KEY, RecordTuple
+from repro.storage.runtime import Runtime
+from repro.table.mstable import MSTable
+
+
+class LsaNode:
+    """One tree node: key range + (possibly empty) MSTable."""
+
+    __slots__ = ("range_lo", "range_hi", "table")
+
+    def __init__(self, range_lo, range_hi, table: Optional[MSTable] = None) -> None:
+        if range_hi < range_lo:
+            raise InvariantViolation(f"bad node range [{range_lo!r}, {range_hi!r}]")
+        self.range_lo = range_lo
+        self.range_hi = range_hi
+        self.table = table
+
+    # ------------------------------------------------------------- properties
+    @property
+    def is_empty(self) -> bool:
+        return self.table is None or self.table.n_sequences == 0
+
+    @property
+    def nbytes(self) -> int:
+        return 0 if self.table is None else self.table.data_bytes
+
+    @property
+    def n_sequences(self) -> int:
+        return 0 if self.table is None else self.table.n_sequences
+
+    @property
+    def data_min_key(self):
+        return None if self.is_empty else self.table.min_key
+
+    @property
+    def data_max_key(self):
+        return None if self.is_empty else self.table.max_key
+
+    def covers(self, key) -> bool:
+        return self.range_lo <= key <= self.range_hi
+
+    def overlaps(self, lo, hi) -> bool:
+        return not (self.range_hi < lo or self.range_lo > hi)
+
+    # ----------------------------------------------------------------- ranges
+    def extend_range(self, lo, hi) -> None:
+        """Widen the range to cover appended records (paper §4.2.1)."""
+        if lo < self.range_lo:
+            self.range_lo = lo
+        if hi > self.range_hi:
+            self.range_hi = hi
+
+    def check_range_covers_data(self) -> None:
+        if not self.is_empty:
+            if not (self.range_lo <= self.table.min_key
+                    and self.table.max_key <= self.range_hi):
+                raise InvariantViolation(
+                    f"node range [{self.range_lo!r}, {self.range_hi!r}] does not "
+                    f"cover data [{self.table.min_key!r}, {self.table.max_key!r}]")
+
+    # ------------------------------------------------------------------- I/O
+    def drop_table(self) -> None:
+        """Release the node's file (after its data moved down)."""
+        if self.table is not None:
+            self.table.delete()
+            self.table = None
+
+    def ensure_table(self, runtime: Runtime, *, key_size: int, bloom_bits_per_key: int) -> MSTable:
+        if self.table is None or self.table.deleted:
+            self.table = MSTable(runtime, key_size=key_size,
+                                 bloom_bits_per_key=bloom_bits_per_key)
+        return self.table
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"LsaNode([{self.range_lo!r},{self.range_hi!r}], "
+                f"seqs={self.n_sequences}, bytes={self.nbytes})")
+
+
+# --------------------------------------------------------------------- levels
+def level_find_node(level: List[LsaNode], key) -> Optional[LsaNode]:
+    """The unique node whose range covers ``key``, if any."""
+    idx = bisect.bisect_right(level, key, key=lambda n: n.range_lo) - 1
+    if idx >= 0 and level[idx].range_hi >= key:
+        return level[idx]
+    return None
+
+
+def level_insert_sorted(level: List[LsaNode], node: LsaNode) -> None:
+    """Insert keeping the level sorted; rejects range overlap."""
+    idx = bisect.bisect_right(level, node.range_lo, key=lambda n: n.range_lo)
+    if idx > 0 and level[idx - 1].range_hi >= node.range_lo:
+        raise InvariantViolation(
+            f"insert overlaps left neighbour: {level[idx - 1]!r} vs {node!r}")
+    if idx < len(level) and level[idx].range_lo <= node.range_hi:
+        raise InvariantViolation(
+            f"insert overlaps right neighbour: {level[idx]!r} vs {node!r}")
+    level.insert(idx, node)
+
+
+def level_overlapping(level: List[LsaNode], lo, hi) -> List[LsaNode]:
+    """Nodes whose ranges intersect [lo, hi] (inclusive; None bounds open)."""
+    if not level:
+        return []
+    start = 0
+    if lo is not None:
+        start = bisect.bisect_right(level, lo, key=lambda n: n.range_lo) - 1
+        if start < 0 or level[start].range_hi < lo:
+            start += 1
+    out = []
+    for node in level[start:]:
+        if hi is not None and node.range_lo > hi:
+            break
+        out.append(node)
+    return out
+
+
+def children_slice(parents: List[LsaNode], kids: List[LsaNode],
+                   parent_idx: int) -> Tuple[int, int]:
+    """Index range [i, j) of ``kids`` parented to ``parents[parent_idx]``.
+
+    Uses the contains-lo rule: a kid belongs to the last parent whose
+    ``range_lo`` <= the kid's ``range_lo`` (the first parent otherwise).
+    """
+    if not kids:
+        return (0, 0)
+    lo_bound = parents[parent_idx].range_lo
+    if parent_idx == 0:
+        i = 0
+    else:
+        i = bisect.bisect_left(kids, lo_bound, key=lambda n: n.range_lo)
+    if parent_idx == len(parents) - 1:
+        j = len(kids)
+    else:
+        nxt = parents[parent_idx + 1].range_lo
+        j = bisect.bisect_left(kids, nxt, key=lambda n: n.range_lo)
+    return (i, j)
+
+
+def children_of(parents: List[LsaNode], kids: List[LsaNode],
+                parent_idx: int) -> List[LsaNode]:
+    i, j = children_slice(parents, kids, parent_idx)
+    return kids[i:j]
+
+
+def count_children(parents: List[LsaNode], kids: List[LsaNode], parent_idx: int) -> int:
+    i, j = children_slice(parents, kids, parent_idx)
+    return j - i
+
+
+def partition_records(records: List[RecordTuple], children: List[LsaNode],
+                      *, leaf: bool, child_weights: Optional[List[int]] = None,
+                      ) -> List[List[RecordTuple]]:
+    """Partition a sorted run among children (§4.2.1 rules).
+
+    In-range records go to the covering child.  Out-of-range records go to
+    the *closest* child at the leaf level, and to the adjacent child with the
+    fewer children (``child_weights``) at internal levels -- ties and
+    non-numeric keys fall back to the left child.
+    """
+    n = len(children)
+    if n == 0:
+        raise InvariantViolation("partition_records needs at least one child")
+    parts: List[List[RecordTuple]] = [[] for _ in range(n)]
+    if n == 1:
+        parts[0] = list(records)
+        return parts
+    los = [c.range_lo for c in children]
+    for rec in records:
+        key = rec[KEY]
+        idx = bisect.bisect_right(los, key) - 1
+        if idx < 0:
+            parts[0].append(rec)
+            continue
+        if key <= children[idx].range_hi or idx == n - 1:
+            parts[idx].append(rec)
+            continue
+        # Gap between children[idx] and children[idx+1].
+        left, right = children[idx], children[idx + 1]
+        if leaf:
+            choice = idx if _closer_to_left(key, left.range_hi, right.range_lo) else idx + 1
+        else:
+            if child_weights is not None and child_weights[idx + 1] < child_weights[idx]:
+                choice = idx + 1
+            else:
+                choice = idx
+        parts[choice].append(rec)
+    return parts
+
+
+def _closer_to_left(key, left_hi, right_lo) -> bool:
+    try:
+        return (key - left_hi) <= (right_lo - key)
+    except TypeError:
+        return True

@@ -1,0 +1,368 @@
+"""IamDB: the persistent, MVCC, crash-recoverable key-value store (§6).
+
+One wrapper owns the pieces every engine shares -- WAL, memtable, snapshots,
+the manifest -- and delegates the on-disk structure to a pluggable engine:
+
+======== ===================================== ==========================
+name     engine                                paper system
+======== ===================================== ==========================
+iam      :class:`repro.core.iam.IamTree`       IAM-tree (I-nt)
+lsa      :class:`repro.core.lsa.LsaTree`       LSA-tree (A-nt)
+leveldb  :class:`repro.lsm.leveled.LeveledLsm` LevelDB (L)
+rocksdb  :class:`repro.lsm.leveled.LeveledLsm` RocksDB (R-nt)
+flsm     :class:`repro.lsm.flsm.FlsmEngine`    FLSM/PebblesDB (§6.8)
+======== ===================================== ==========================
+
+Write path (§5.2, identical to LevelDB): append to the WAL, insert into the
+memtable; on overflow the memtable rotates and a background flush hands it to
+the engine.  Rotation stalls while the previous flush is still in flight --
+one of the two stall sources the tail-latency experiments measure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.common.errors import ConfigError, StoreClosedError
+from repro.common.options import (
+    IamOptions,
+    LsaOptions,
+    LsmOptions,
+    StorageOptions,
+)
+from repro.common.records import (
+    KIND,
+    DELETE,
+    RecordTuple,
+    VALUE,
+    Value,
+    encoded_size,
+    make_delete,
+    make_put,
+)
+from repro.core.iam import IamTree
+from repro.core.lsa import LsaTree
+from repro.db.iterator import merge_visible
+from repro.db.snapshot import Snapshot
+from repro.lsm.flsm import FlsmEngine
+from repro.lsm.leveled import LeveledLsm
+from repro.memtable import Memtable
+from repro.metrics import MetricsRegistry
+from repro.storage.manifest import Manifest
+from repro.storage.runtime import Runtime
+from repro.storage.wal import WriteAheadLog
+
+SnapshotLike = Union[None, int, Snapshot]
+
+
+def _engine_factory(name: str, engine_options, runtime: Runtime):
+    if name == "iam":
+        return IamTree(engine_options or IamOptions(), runtime)
+    if name == "lsa":
+        # LSA is IAM's degenerate pure-append configuration (§7: "LSA is a
+        # special case of IAM with minimum merges").
+        opts = engine_options
+        if opts is None:
+            opts = IamOptions()
+        if isinstance(opts, IamOptions):
+            opts = opts.as_lsa()
+        elif isinstance(opts, LsaOptions):
+            import dataclasses
+            opts = IamOptions(**dataclasses.asdict(opts)).as_lsa()
+        else:
+            raise ConfigError("lsa engine needs LsaOptions/IamOptions")
+        engine = IamTree(opts, runtime)
+        engine.name = "lsa"
+        return engine
+    if name == "leveldb":
+        return LeveledLsm(engine_options or LsmOptions.leveldb(), runtime)
+    if name == "rocksdb":
+        return LeveledLsm(engine_options or LsmOptions.rocksdb(), runtime)
+    if name == "flsm":
+        return FlsmEngine(engine_options or LsmOptions.leveldb(), runtime)
+    if name == "lsmtrie":
+        from repro.lsm.lsmtrie import LsmTrieEngine
+        opts = engine_options or LsaOptions()
+        return LsmTrieEngine(opts, runtime)
+    raise ConfigError(f"unknown engine {name!r}")
+
+
+class IamDB:
+    """Key-value store over a simulated storage stack."""
+
+    def __init__(self, engine: str = "iam", *,
+                 engine_options=None,
+                 storage_options: Optional[StorageOptions] = None) -> None:
+        self.metrics = MetricsRegistry()
+        threads = getattr(engine_options, "background_threads", None)
+        if threads is None:
+            threads = 1
+        self.runtime = Runtime(storage_options, background_threads=threads,
+                               metrics=self.metrics)
+        self.engine = _engine_factory(engine, engine_options, self.runtime)
+        self.engine.snapshots_provider = self._live_snapshots
+        self.key_size = self.engine.options.key_size
+        self.wal = WriteAheadLog(self.runtime, self.key_size)
+        self.manifest = Manifest(self.runtime)
+        self.memtable = Memtable(self.key_size)
+        self.immutable: Optional[Memtable] = None
+        self._imm_job = None
+        self._seq = 0
+        self._snapshots: Dict[int, int] = {}
+        self._closed = False
+
+    @classmethod
+    def create(cls, engine: str = "iam", **kw) -> "IamDB":
+        """Convenience constructor: ``IamDB.create("lsa", ...)``."""
+        return cls(engine, **kw)
+
+    # -------------------------------------------------------------- lifecycle
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StoreClosedError("operation on a closed IamDB")
+
+    def close(self) -> None:
+        if not self._closed:
+            self.flush()
+            self.runtime.quiesce()
+            self._closed = True
+
+    @property
+    def clock_now(self) -> float:
+        return self.runtime.clock.now
+
+    # ----------------------------------------------------------------- writes
+    def put(self, key, value: Value) -> None:
+        """Insert/overwrite ``key``.  ``value``: bytes, or int = synthetic size."""
+        self._check_open()
+        self._seq += 1
+        self._write(make_put(key, self._seq, value))
+
+    def delete(self, key) -> None:
+        """Delete ``key`` (writes a tombstone; space reclaimed by merges)."""
+        self._check_open()
+        self._seq += 1
+        self._write(make_delete(key, self._seq))
+
+    def write_batch(self):
+        """An atomic :class:`~repro.db.batch.WriteBatch` bound to this DB."""
+        self._check_open()
+        from repro.db.batch import WriteBatch
+        return WriteBatch(self)
+
+    def _apply_batch(self, ops) -> None:
+        """Commit a WriteBatch: consecutive seqs, one WAL run, all-or-nothing."""
+        from repro.db.batch import PUT_OP
+        self._check_open()
+        runtime = self.runtime
+        t0 = runtime.clock.now
+        recs = []
+        for op, key, value in ops:
+            self._seq += 1
+            if op == PUT_OP:
+                recs.append(make_put(key, self._seq, value))
+            else:
+                recs.append(make_delete(key, self._seq))
+        total = sum(encoded_size(r, self.key_size) for r in recs)
+        self.engine.write_gate(total)
+        self.wal.append_many(recs)
+        for rec in recs:
+            self.memtable.add(rec)
+            self.metrics.add_user_bytes(encoded_size(rec, self.key_size))
+        if self.memtable.nbytes >= self.engine.memtable_capacity:
+            self._rotate_memtable()
+        runtime.pump()
+        self.metrics.record_latency("insert", runtime.clock.now - t0)
+
+    def iterate(self, lo_key=None, hi_key=None, *, snapshot: SnapshotLike = None):
+        """Lazy ordered iterator over ``(key, value)`` pairs, lo <= key < hi.
+
+        Unlike :meth:`scan`, results stream as they are consumed -- I/O is
+        charged with read-ahead while you iterate.  The view is fixed at call
+        time (plus the given snapshot); interleaving writes with iteration is
+        not supported.
+        """
+        self._check_open()
+        snap = self._snap_seq(snapshot)
+        streams: List = [list(self.memtable.iter_range(lo_key, hi_key))]
+        if self.immutable is not None:
+            streams.append(list(self.immutable.iter_range(lo_key, hi_key)))
+        streams.extend(self.engine.scan_cursors(lo_key, hi_key))
+        return merge_visible(streams, snapshot=snap, hi_key=hi_key)
+
+    def _write(self, rec: RecordTuple) -> None:
+        runtime = self.runtime
+        t0 = runtime.clock.now
+        nbytes = encoded_size(rec, self.key_size)
+        self.engine.write_gate(nbytes)
+        self.wal.append(rec)
+        self.memtable.add(rec)
+        self.metrics.add_user_bytes(nbytes)
+        if self.memtable.nbytes >= self.engine.memtable_capacity:
+            self._rotate_memtable()
+        runtime.pump()
+        self.metrics.record_latency("insert", runtime.clock.now - t0)
+
+    def _rotate_memtable(self) -> None:
+        if self._imm_job is not None and not self._imm_job.done:
+            # The previous flush is still in flight: the write stalls (§6.2).
+            self.runtime.stall_on(self._imm_job, "memtable-rotation")
+        imm = self.memtable
+        if len(imm) == 0:
+            return
+        self.memtable = Memtable(self.key_size)
+        records = imm.sorted_records()
+        flushed_through = imm.max_seq
+        job = self.engine.submit_flush(records, imm.nbytes)
+        self.immutable = imm
+        self._imm_job = job
+
+        prev_done = job.on_complete
+
+        def on_done() -> None:
+            if prev_done is not None:
+                prev_done()
+            if self._imm_job is job:
+                self.immutable = None
+                self._imm_job = None
+            self.wal.truncate_through(flushed_through)
+            self.manifest.checkpoint({
+                "engine": self.engine.checkpoint_state(),
+                "seq": flushed_through,
+            })
+            self.manifest.edits += 1
+
+        if job.done:
+            on_done()
+        else:
+            job.on_complete = on_done
+
+    def flush(self) -> float:
+        """Flush the memtable and wait for the flush to hit the structure."""
+        self._check_open()
+        t0 = self.runtime.clock.now
+        if len(self.memtable):
+            self._rotate_memtable()
+        if self._imm_job is not None and not self._imm_job.done:
+            self.runtime.stall_on(self._imm_job, "explicit-flush")
+        return self.runtime.clock.now - t0
+
+    def quiesce(self) -> float:
+        """Flush and finish *all* background work (end of the tuning phase)."""
+        elapsed = self.flush()
+        return elapsed + self.runtime.quiesce()
+
+    # ------------------------------------------------------------------ reads
+    @staticmethod
+    def _snap_seq(snapshot: SnapshotLike) -> Optional[int]:
+        if snapshot is None:
+            return None
+        if isinstance(snapshot, Snapshot):
+            return snapshot.seq
+        return int(snapshot)
+
+    def get(self, key, snapshot: SnapshotLike = None):
+        """Newest visible value of ``key``, or None."""
+        self._check_open()
+        runtime = self.runtime
+        t0 = runtime.clock.now
+        snap = self._snap_seq(snapshot)
+        rec = self.memtable.get(key, snap)
+        if rec is None and self.immutable is not None:
+            rec = self.immutable.get(key, snap)
+        if rec is None:
+            rec, _ = self.engine.get(key, snap)
+        runtime.pump()
+        self.metrics.record_latency("read", runtime.clock.now - t0)
+        if rec is None or rec[KIND] == DELETE:
+            return None
+        return rec[VALUE]
+
+    def scan(self, lo_key=None, hi_key=None, *, limit: Optional[int] = None,
+             snapshot: SnapshotLike = None) -> List[Tuple[object, object]]:
+        """Ordered ``(key, value)`` pairs with lo <= key < hi (both optional)."""
+        self._check_open()
+        runtime = self.runtime
+        t0 = runtime.clock.now
+        snap = self._snap_seq(snapshot)
+        streams: List = [list(self.memtable.iter_range(lo_key, hi_key))]
+        if self.immutable is not None:
+            streams.append(list(self.immutable.iter_range(lo_key, hi_key)))
+        streams.extend(self.engine.scan_cursors(lo_key, hi_key))
+        out = list(merge_visible(streams, snapshot=snap, hi_key=hi_key, limit=limit))
+        runtime.pump()
+        self.metrics.record_latency("scan", runtime.clock.now - t0)
+        return out
+
+    # -------------------------------------------------------------- snapshots
+    def snapshot(self) -> Snapshot:
+        """Pin the current sequence number for repeatable reads."""
+        self._check_open()
+        self._snapshots[self._seq] = self._snapshots.get(self._seq, 0) + 1
+        return Snapshot(self, self._seq)
+
+    def _release_snapshot(self, seq: int) -> None:
+        left = self._snapshots.get(seq, 0) - 1
+        if left <= 0:
+            self._snapshots.pop(seq, None)
+        else:
+            self._snapshots[seq] = left
+
+    def _live_snapshots(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._snapshots))
+
+    # --------------------------------------------------------------- recovery
+    def crash_and_recover(self) -> None:
+        """Simulate a process crash and recover from WAL + manifest.
+
+        Compactions and flushes apply atomically through the manifest in this
+        simulation (as LevelDB's version edits do), so the durable structure
+        is exactly the engine state; what a crash loses is the volatile
+        memtable, which is rebuilt by replaying the WAL suffix appended since
+        the last completed flush.
+        """
+        self._check_open()
+        # In-flight flush I/O completes (or is journalled) before the crash.
+        if self._imm_job is not None and not self._imm_job.done:
+            self.runtime.pool.wait_for(self._imm_job)
+        self.immutable = None
+        self._imm_job = None
+        # Volatile state is gone.
+        self.memtable = Memtable(self.key_size)
+        self._snapshots.clear()
+        # Restore the durable structure from the last manifest checkpoint.
+        state = self.manifest.restore()
+        max_seq = 0
+        if state is not None:
+            self.engine.restore_state(state["engine"])
+            max_seq = state["seq"]
+        # Replay the WAL suffix into a fresh memtable.
+        for rec in self.wal.replay():
+            self.memtable.add(rec)
+            if rec[1] > max_seq:
+                max_seq = rec[1]
+        self._seq = max(self._seq, max_seq)
+        self.metrics.bump("recovery")
+
+    # ------------------------------------------------------------- inspection
+    def write_amplification(self, *, include_wal: bool = False) -> float:
+        return self.metrics.write_amplification(include_wal=include_wal)
+
+    def per_level_write_amplification(self) -> Dict[int, float]:
+        return self.metrics.per_level_write_amplification()
+
+    def space_used_bytes(self) -> int:
+        return self.runtime.space_used_bytes()
+
+    def stats(self) -> Dict[str, object]:
+        d = self.engine.describe()
+        d.update({
+            "write_amplification": self.write_amplification(),
+            "space_used_bytes": self.space_used_bytes(),
+            "sim_time_s": self.runtime.clock.now,
+            "memtable_bytes": self.memtable.nbytes,
+        })
+        return d
+
+    def check_invariants(self) -> None:
+        self.engine.check_invariants()

@@ -1,0 +1,5 @@
+"""Probabilistic filters."""
+
+from repro.filters.bloom import BloomFilter
+
+__all__ = ["BloomFilter"]

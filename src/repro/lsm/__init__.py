@@ -1,0 +1,15 @@
+"""Baseline engines the paper compares against.
+
+* :class:`~repro.lsm.leveled.LeveledLsm` -- LevelDB/RocksDB-style leveled
+  compaction (§2.1), selected via ``LsmOptions.style``.
+* :class:`~repro.lsm.flsm.FlsmEngine` -- a fragmented-LSM append tree used
+  for the §6.8 discussion (no trivial moves, guard-based appends).
+* :class:`~repro.lsm.lsmtrie.LsmTrieEngine` -- the hash-trie append tree of
+  Table 2 (bounded fan-out, no sequential-write benefit, no scans).
+"""
+
+from repro.lsm.flsm import FlsmEngine
+from repro.lsm.leveled import LeveledLsm
+from repro.lsm.lsmtrie import LsmTrieEngine, ScansUnsupportedError
+
+__all__ = ["FlsmEngine", "LeveledLsm", "LsmTrieEngine", "ScansUnsupportedError"]

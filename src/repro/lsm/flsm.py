@@ -1,0 +1,348 @@
+"""FLSM/PebblesDB-style fragmented LSM (for the paper's §6.8 discussion).
+
+FLSM partitions each level with *guards*; compaction merges a level's
+fragments and appends the partitioned result to the next level's guards
+without rewriting the data already there.  Two properties distinguish it
+from LSA (Table 2) and are what §6.8 measures:
+
+* **No trivial moves.** Even fully sorted (sequential) input is re-read and
+  re-written at every level ("the records are always rewritten when compacted
+  to a level"), giving sequential-load write amplification roughly equal to
+  the level count (the paper measures 6.42) instead of ~1 for LSA/IAM/LSM.
+* **Unbounded children.** Guards are sampled from the key distribution and
+  never rebalanced, so a guard's fan-in is unbounded -- the "worst write
+  case" LSA's splits avoid.
+
+The implementation is deliberately compact: enough machinery to run real
+workloads (flush, guard-partitioned append compaction, bottom-level guard
+merges, point/scan reads) with honest I/O charging.
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import InvariantViolation
+from repro.common.options import LsmOptions
+from repro.common.records import KEY, RecordTuple, sort_key
+from repro.core.engine import EngineBase
+from repro.storage.background import BackgroundJob
+from repro.storage.runtime import Runtime
+from repro.table.merge import merge_runs
+from repro.table.mstable import MSTable
+
+#: Fragments per bottom-level guard before the guard is merged in place.
+BOTTOM_MERGE_FANIN = 8
+
+
+class _Guard:
+    """One guard bucket: a key lower bound plus its fragment tables."""
+
+    __slots__ = ("lo", "tables")
+
+    def __init__(self, lo) -> None:
+        self.lo = lo
+        self.tables: List[MSTable] = []
+
+    @property
+    def nbytes(self) -> int:
+        return sum(t.data_bytes for t in self.tables)
+
+
+class FlsmEngine(EngineBase):
+    """Fragmented log-structured merge tree baseline."""
+
+    name = "flsm"
+
+    def __init__(self, options: LsmOptions, runtime: Runtime) -> None:
+        super().__init__(runtime)
+        self.options = options
+        n = options.max_levels
+        #: Each level: ordered guard list.  Level 0 is a single implicit
+        #: guard covering everything (flush target).
+        self.guards: List[List[_Guard]] = [[_Guard(None)] for _ in range(n)]
+        #: Cached guard cut keys per level (guards[level][1:].lo).
+        self._cuts: List[List] = [[] for _ in range(n)]
+        self.level_bytes: List[int] = [0] * n
+        self._busy_levels: set = set()
+        self.compactions = 0
+
+    # ------------------------------------------------------------------ write
+    @property
+    def memtable_capacity(self) -> int:
+        return self.options.memtable_bytes
+
+    def submit_flush(self, records: List[RecordTuple], nbytes: int) -> BackgroundJob:
+        def start() -> float:
+            table, debt = MSTable.build(
+                self.runtime, records,
+                key_size=self.options.key_size,
+                bloom_bits_per_key=self.options.bloom_bits_per_key,
+                level=0,
+            )
+            self.guards[0][0].tables.append(table)
+            self.level_bytes[0] += table.data_bytes
+            return debt
+
+        return self.runtime.submit_job("flush->L0", start, high_priority=True)
+
+    def write_gate(self, nbytes: int) -> float:
+        opts = self.options
+        lat = 0.0
+        n0 = len(self.guards[0][0].tables)
+        if n0 >= opts.l0_slowdown_trigger:
+            bw = self.runtime.disk.profile.write_bandwidth
+            d = nbytes / (bw * opts.delayed_write_fraction) - nbytes / bw
+            self.runtime.clock.advance(d)
+            lat += d
+        guard = 0
+        while len(self.guards[0][0].tables) >= opts.l0_stop_trigger:
+            guard += 1
+            if guard > 100_000:
+                raise InvariantViolation("FLSM L0 stall did not converge")
+            step = self.runtime.pool.step_drain()
+            lat += step
+            if step == 0.0 and not self.runtime.pool.busy:
+                break
+        return lat
+
+    # ------------------------------------------------------------- background
+    def _level_threshold(self, level: int) -> int:
+        if level == 0:
+            return self.options.l0_compaction_trigger * self.options.memtable_bytes
+        return self.options.level_target_bytes(level)
+
+    def pick_background_job(self) -> Optional[BackgroundJob]:
+        opts = self.options
+        best = None
+        for i in range(0, opts.max_levels - 1):
+            if i in self._busy_levels or (i + 1) in self._busy_levels:
+                continue
+            score = self.level_bytes[i] / self._level_threshold(i)
+            if score >= 1.0 and (best is None or score > best[0]):
+                best = (score, i)
+        if best is None:
+            return self._pick_bottom_merge()
+        level = best[1]
+        self._busy_levels.add(level)
+        self._busy_levels.add(level + 1)
+
+        def start() -> float:
+            return self._compact(level)
+
+        def done() -> None:
+            self._busy_levels.discard(level)
+            self._busy_levels.discard(level + 1)
+
+        return BackgroundJob(f"flsm-compact:L{level}", start, on_complete=done)
+
+    def _pick_bottom_merge(self) -> Optional[BackgroundJob]:
+        bottom = self._deepest_level()
+        if bottom in self._busy_levels:
+            return None
+        for g in self.guards[bottom]:
+            if len(g.tables) > BOTTOM_MERGE_FANIN:
+                self._busy_levels.add(bottom)
+
+                def start(g=g, bottom=bottom) -> float:
+                    return self._merge_guard(bottom, g)
+
+                def done() -> None:
+                    self._busy_levels.discard(bottom)
+
+                return BackgroundJob(f"flsm-guard-merge:L{bottom}", start, on_complete=done)
+        return None
+
+    def _deepest_level(self) -> int:
+        for i in range(self.options.max_levels - 1, -1, -1):
+            if self.level_bytes[i]:
+                return i
+        return 0
+
+    # ---------------------------------------------------------------- compact
+    def _ensure_guards(self, level: int, sample: List[RecordTuple]) -> None:
+        """Sample guard boundaries for a level on first use (PebblesDB-style)."""
+        if len(self.guards[level]) > 1 or not sample:
+            return
+        want = min(self.options.level_size_multiplier ** level, max(1, len(sample) // 8))
+        if want <= 1:
+            return
+        step = len(sample) / want
+        cuts = sorted({sample[int(i * step)][KEY] for i in range(1, want)})
+        self.guards[level] = [_Guard(None)] + [_Guard(c) for c in cuts]
+        self._cuts[level] = cuts
+
+    def _guard_index(self, level: int, key) -> int:
+        return bisect.bisect_right(self._cuts[level], key)
+
+    def _compact(self, level: int) -> float:
+        """Merge every fragment of ``level`` and append into level+1 guards."""
+        debt = 0.0
+        runs: List[List[RecordTuple]] = []
+        old_tables: List[MSTable] = []
+        for g in self.guards[level]:
+            for t in g.tables:
+                debt += t.compaction_read_debt()
+                for seq in t.sequences:
+                    runs.append(seq.records)
+                old_tables.append(t)
+        if not runs:
+            return 0.0
+        merged = merge_runs(runs, snapshots=self.snapshots_provider())
+        self._ensure_guards(level + 1, merged)
+
+        # Partition by the next level's guards and append (never merge).
+        cuts = self._cuts[level + 1]
+        start = 0
+        for gi, g in enumerate(self.guards[level + 1]):
+            stop = (bisect.bisect_left(merged, cuts[gi], key=lambda r: r[KEY])
+                    if gi < len(cuts) else len(merged))
+            part = merged[start:stop]
+            start = stop
+            if not part:
+                continue
+            table, d = MSTable.build(
+                self.runtime, part,
+                key_size=self.options.key_size,
+                bloom_bits_per_key=self.options.bloom_bits_per_key,
+                level=level + 1,
+            )
+            debt += d
+            g.tables.append(table)
+            self.level_bytes[level + 1] += table.data_bytes
+
+        for g in self.guards[level]:
+            g.tables.clear()
+        for t in old_tables:
+            t.delete()
+        self.level_bytes[level] = 0
+        self.compactions += 1
+        self.runtime.metrics.bump(f"flsm-compaction:L{level}")
+        return debt
+
+    def _merge_guard(self, level: int, g: _Guard) -> float:
+        """In-place merge of one bottom-level guard's fragments."""
+        debt = 0.0
+        runs = []
+        for t in g.tables:
+            debt += t.compaction_read_debt()
+            for seq in t.sequences:
+                runs.append(seq.records)
+        merged = merge_runs(runs, drop_tombstones=True,
+                            snapshots=self.snapshots_provider())
+        old_bytes = g.nbytes
+        for t in g.tables:
+            t.delete()
+        g.tables = []
+        if merged:
+            table, d = MSTable.build(
+                self.runtime, merged,
+                key_size=self.options.key_size,
+                bloom_bits_per_key=self.options.bloom_bits_per_key,
+                level=level,
+            )
+            debt += d
+            g.tables = [table]
+            self.level_bytes[level] += table.data_bytes - old_bytes
+        else:
+            self.level_bytes[level] -= old_bytes
+        self.runtime.metrics.bump("flsm-guard-merge")
+        return debt
+
+    # ------------------------------------------------------------------- read
+    def get(self, key, snapshot: Optional[int] = None) -> Tuple[Optional[RecordTuple], float]:
+        latency = 0.0
+        for level in range(self.options.max_levels):
+            gi = self._guard_index(level, key)
+            g = self.guards[level][gi]
+            for table in reversed(g.tables):
+                if table.min_key <= key <= table.max_key:
+                    rec, lat = table.get(key, snapshot)
+                    latency += lat
+                    if rec is not None:
+                        return rec, latency
+        return None, latency
+
+    def scan_runs(self, lo_key, hi_key) -> Tuple[List[List[RecordTuple]], float]:
+        runs: List[List[RecordTuple]] = []
+        latency = 0.0
+        for level in range(self.options.max_levels):
+            for g in self.guards[level]:
+                for table in g.tables:
+                    if lo_key is not None and table.max_key < lo_key:
+                        continue
+                    if hi_key is not None and table.min_key > hi_key:
+                        continue
+                    table_runs, lat = table.read_range(lo_key, hi_key)
+                    latency += lat
+                    runs.extend(table_runs)
+        return runs, latency
+
+    def scan_cursors(self, lo_key, hi_key) -> List:
+        cursors = []
+        for level in range(self.options.max_levels):
+            guards = [g for g in self.guards[level] if g.tables]
+            if guards:
+                cursors.append(self._level_cursor(guards, lo_key, hi_key))
+        return cursors
+
+    @staticmethod
+    def _level_cursor(guards: List[_Guard], lo_key, hi_key):
+        for g in guards:
+            live = [t for t in g.tables
+                    if not ((lo_key is not None and t.max_key < lo_key)
+                            or (hi_key is not None and t.min_key > hi_key))]
+            if not live:
+                continue
+            if len(live) == 1:
+                yield from live[0].cursor(lo_key, hi_key)
+            else:
+                yield from heapq.merge(*(t.cursor(lo_key, hi_key) for t in live),
+                                       key=sort_key)
+
+    # ------------------------------------------------------------- inspection
+    def level_data_bytes(self) -> Dict[int, int]:
+        return {i: b for i, b in enumerate(self.level_bytes) if b}
+
+    def max_guard_fanin(self) -> int:
+        """Largest fragment count in any guard (worst-write-case indicator)."""
+        return max((len(g.tables) for lvl in self.guards for g in lvl), default=0)
+
+    def check_invariants(self) -> None:
+        for i, lvl in enumerate(self.guards):
+            total = sum(g.nbytes for g in lvl)
+            if total != self.level_bytes[i]:
+                raise InvariantViolation(f"FLSM level {i} byte accounting drifted")
+            cuts = [g.lo for g in lvl[1:]]
+            if cuts != sorted(cuts):
+                raise InvariantViolation(f"FLSM level {i} guards out of order")
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "engine": self.name,
+            "levels": {i: {"guards": len(lvl), "bytes": self.level_bytes[i]}
+                       for i, lvl in enumerate(self.guards) if self.level_bytes[i]},
+            "compactions": self.compactions,
+            "max_guard_fanin": self.max_guard_fanin(),
+        }
+
+    # --------------------------------------------------------------- recovery
+    def checkpoint_state(self) -> object:
+        return {
+            "guards": [[(g.lo, list(g.tables)) for g in lvl] for lvl in self.guards],
+        }
+
+    def restore_state(self, state: object) -> None:
+        self.guards = []
+        for lvl in state["guards"]:
+            level = []
+            for lo, tables in lvl:
+                g = _Guard(lo)
+                g.tables = list(tables)
+                level.append(g)
+            self.guards.append(level)
+        self._cuts = [[g.lo for g in lvl[1:]] for lvl in self.guards]
+        self.level_bytes = [sum(g.nbytes for g in lvl) for lvl in self.guards]
+        self._busy_levels = set()

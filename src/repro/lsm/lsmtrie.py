@@ -1,0 +1,280 @@
+"""LSM-trie baseline (Wu et al., ATC'15) -- the paper's other append tree.
+
+LSM-trie organizes data as a trie over key-*hash* prefixes: each node holds
+appended containers and, when full, partitions its records among a fixed
+number of children selected by the next bits of the hash.  Two Table 2
+properties follow directly and are what this engine exists to demonstrate:
+
+* the **worst write case is avoided by construction** -- fan-out is a fixed
+  ``TRIE_FANOUT``, so appends never degrade into unbounded random writes;
+* **sequential writes gain nothing** (keys are hashed: ordered input is
+  scattered, no metadata-only moves) and **scans are not supported** (no
+  key order exists on disk).
+
+Point reads walk the root-to-leaf hash path, one node per level, with Bloom
+filters pruning the appended containers -- the same read behaviour the
+original system relies on.
+
+Records are stored internally under their 64-bit key hash (the "trie key");
+the original key rides along for verification.  A node is an MSTable whose
+sequences are sorted by trie key.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import InvariantViolation, ReproError
+from repro.common.options import LsaOptions
+from repro.common.records import KEY, KIND, RecordTuple, SEQ, VALUE
+from repro.core.engine import EngineBase
+from repro.storage.background import BackgroundJob
+from repro.storage.runtime import Runtime
+from repro.common.hashing import splitmix64
+from repro.table.merge import merge_runs
+from repro.table.mstable import MSTable
+
+#: Children per trie node (the original uses 8: 3 hash bits per level).
+TRIE_FANOUT = 8
+TRIE_BITS = 3
+#: Maximum trie depth (64 hash bits / 3 per level is far more than needed).
+MAX_DEPTH = 16
+
+
+class ScansUnsupportedError(ReproError):
+    """LSM-trie stores data in hash order: range scans are impossible."""
+
+
+def trie_key(key) -> int:
+    """The 64-bit hash a record is placed by."""
+    return splitmix64(hash(key) & 0xFFFFFFFFFFFFFFFF)
+
+
+def _child_index(tkey: int, depth: int) -> int:
+    """Which child of a depth-``depth`` node the trie key falls into."""
+    shift = 64 - TRIE_BITS * (depth + 1)
+    return (tkey >> shift) & (TRIE_FANOUT - 1)
+
+
+class _TriePayload:
+    """Value slot of a trie record: original key + kind + user value.
+
+    ``len()`` reports the *accounted payload size* -- the user value's bytes
+    -- so :func:`repro.common.records.encoded_size` charges a trie record
+    exactly what the original record cost (the 64-bit hash stands in for the
+    original key bytes).
+    """
+
+    __slots__ = ("orig_key", "kind", "value")
+
+    def __init__(self, orig_key, kind: int, value) -> None:
+        self.orig_key = orig_key
+        self.kind = kind
+        self.value = value
+
+    def __len__(self) -> int:
+        v = self.value
+        return v if type(v) is int else len(v)
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, _TriePayload)
+                and (self.orig_key, self.kind, self.value)
+                == (other.orig_key, other.kind, other.value))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_TriePayload({self.orig_key!r}, {self.kind}, {self.value!r})"
+
+
+class _TrieNode:
+    """One trie node: an MSTable of hash-ordered appended containers."""
+
+    __slots__ = ("table", "children", "depth")
+
+    def __init__(self, depth: int) -> None:
+        self.table: Optional[MSTable] = None
+        self.children: Dict[int, "_TrieNode"] = {}
+        self.depth = depth
+
+    @property
+    def nbytes(self) -> int:
+        return 0 if self.table is None else self.table.data_bytes
+
+    @property
+    def n_sequences(self) -> int:
+        return 0 if self.table is None else self.table.n_sequences
+
+
+class LsmTrieEngine(EngineBase):
+    """Hash-trie append engine (LSM-trie)."""
+
+    name = "lsmtrie"
+
+    def __init__(self, options: LsaOptions, runtime: Runtime) -> None:
+        super().__init__(runtime)
+        self.options = options
+        self.root = _TrieNode(0)
+        self.flushes = 0
+        self.spills = 0
+
+    # ------------------------------------------------------------------ write
+    @property
+    def memtable_capacity(self) -> int:
+        return self.options.node_capacity
+
+    def submit_flush(self, records: List[RecordTuple], nbytes: int) -> BackgroundJob:
+        def start() -> float:
+            return self._ingest(records)
+
+        return self.runtime.submit_job("trie-ingest", start, high_priority=True)
+
+    def _to_trie_records(self, records: List[RecordTuple]) -> List[RecordTuple]:
+        """Re-key records by hash; the original key becomes part of the value.
+
+        The value slot holds ``(orig_key, kind, value)`` so point reads can
+        verify against hash collisions; the accounted size is unchanged (the
+        original key's bytes simply moved from the key to the value field).
+        """
+        out = []
+        for rec in records:
+            payload = _TriePayload(rec[KEY], rec[KIND], rec[VALUE])
+            out.append((trie_key(rec[KEY]), rec[SEQ], rec[KIND], payload))
+        out.sort(key=lambda r: (r[0], -r[1]))
+        return out
+
+    def _ingest(self, records: List[RecordTuple]) -> float:
+        self.flushes += 1
+        return self._append_to_node(self.root, self._to_trie_records(records))
+
+    def _append_to_node(self, node: _TrieNode, trecs: List[RecordTuple]) -> float:
+        """Append a hash-ordered run; spill to children when the node fills."""
+        if not trecs:
+            return 0.0
+        debt = 0.0
+        if node.nbytes >= self.options.node_capacity and node.depth < MAX_DEPTH:
+            debt += self._spill(node)
+        if node.table is None or node.table.deleted:
+            node.table = MSTable(self.runtime, key_size=self.options.key_size,
+                                 bloom_bits_per_key=self.options.bloom_bits_per_key)
+        _, d = node.table.append_sequence(trecs, level=node.depth + 1)
+        self.runtime.metrics.bump("trie-append")
+        return debt + d
+
+    def _spill(self, node: _TrieNode) -> float:
+        """Move a full node's records down to its TRIE_FANOUT children."""
+        debt = node.table.compaction_read_debt()
+        runs = [s.records for s in node.table.sequences]
+        bottom = not node.children and node.depth + 1 >= MAX_DEPTH
+        merged = merge_runs(runs, drop_tombstones=bottom,
+                            snapshots=self.snapshots_provider())
+        node.table.delete()
+        node.table = None
+        parts: Dict[int, List[RecordTuple]] = {}
+        for trec in merged:
+            parts.setdefault(_child_index(trec[0], node.depth), []).append(trec)
+        for idx, part in sorted(parts.items()):
+            child = node.children.get(idx)
+            if child is None:
+                child = _TrieNode(node.depth + 1)
+                node.children[idx] = child
+            debt += self._append_to_node(child, part)
+        self.spills += 1
+        self.runtime.metrics.bump("trie-spill")
+        return debt
+
+    def pick_background_job(self) -> Optional[BackgroundJob]:
+        return None  # all work happens in the flush job, like LSA
+
+    # ------------------------------------------------------------------- read
+    def get(self, key, snapshot: Optional[int] = None) -> Tuple[Optional[RecordTuple], float]:
+        tkey = trie_key(key)
+        latency = 0.0
+        node = self.root
+        depth = 0
+        while node is not None:
+            if node.table is not None and node.table.n_sequences:
+                trec, lat = self._node_get(node, tkey, key, snapshot)
+                latency += lat
+                if trec is not None:
+                    return trec, latency
+            node = node.children.get(_child_index(tkey, depth))
+            depth += 1
+        return None, latency
+
+    def _node_get(self, node: _TrieNode, tkey: int, key,
+                  snapshot: Optional[int]) -> Tuple[Optional[RecordTuple], float]:
+        latency = 0.0
+        for seq in reversed(node.table.sequences):
+            if snapshot is not None and seq.min_seq > snapshot:
+                continue
+            trec, lat = seq.get(self.runtime, node.table.file_id, tkey, snapshot)
+            latency += lat
+            if trec is not None:
+                p = trec[VALUE]
+                if p.orig_key == key:  # hash-collision guard
+                    return (p.orig_key, trec[SEQ], p.kind, p.value), latency
+        return None, latency
+
+    def scan_runs(self, lo_key, hi_key):
+        raise ScansUnsupportedError(
+            "LSM-trie is hash-based and does not support scans (Table 2)")
+
+    def scan_cursors(self, lo_key, hi_key):
+        raise ScansUnsupportedError(
+            "LSM-trie is hash-based and does not support scans (Table 2)")
+
+    # ------------------------------------------------------------- inspection
+    def _walk(self):
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children.values())
+
+    def level_data_bytes(self) -> Dict[int, int]:
+        out: Dict[int, int] = {}
+        for node in self._walk():
+            if node.nbytes:
+                out[node.depth + 1] = out.get(node.depth + 1, 0) + node.nbytes
+        return out
+
+    def max_children(self) -> int:
+        return max((len(n.children) for n in self._walk()), default=0)
+
+    def check_invariants(self) -> None:
+        for node in self._walk():
+            if len(node.children) > TRIE_FANOUT:
+                raise InvariantViolation("trie node exceeded its fixed fan-out")
+            for idx, child in node.children.items():
+                if child.depth != node.depth + 1:
+                    raise InvariantViolation("trie depth bookkeeping broken")
+                if not (0 <= idx < TRIE_FANOUT):
+                    raise InvariantViolation(f"bad child index {idx}")
+
+    def describe(self) -> Dict[str, object]:
+        depths: Dict[int, int] = {}
+        for node in self._walk():
+            depths[node.depth] = depths.get(node.depth, 0) + 1
+        return {
+            "engine": self.name,
+            "nodes_per_depth": dict(sorted(depths.items())),
+            "level_bytes": self.level_data_bytes(),
+            "flushes": self.flushes,
+            "spills": self.spills,
+            "max_children": self.max_children(),
+        }
+
+    # --------------------------------------------------------------- recovery
+    def checkpoint_state(self) -> object:
+        def snap(node: _TrieNode):
+            return (node.depth, node.table,
+                    {i: snap(c) for i, c in node.children.items()})
+        return snap(self.root)
+
+    def restore_state(self, state: object) -> None:
+        def build(s) -> _TrieNode:
+            depth, table, children = s
+            node = _TrieNode(depth)
+            node.table = table
+            node.children = {i: build(c) for i, c in children.items()}
+            return node
+        self.root = build(state)

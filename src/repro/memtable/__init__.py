@@ -1,0 +1,5 @@
+"""In-memory write buffer."""
+
+from repro.memtable.memtable import Memtable
+
+__all__ = ["Memtable"]

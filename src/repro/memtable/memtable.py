@@ -1,0 +1,98 @@
+"""Memtable: the sorted in-memory component.
+
+LevelDB uses a skip list; a Python skip list is strictly slower than the
+standard library's bisect over a sorted key list, so the memtable keeps a
+sorted list of distinct keys plus a per-key version list (newest last).  The
+public behaviour is what the engines rely on:
+
+* MVCC: every version is kept until flush; ``get`` honours snapshots.
+* Size accounting in *encoded* bytes, so the capacity threshold ``Ct``
+  matches what the flush will write.
+* ``sorted_records()`` emits a valid sorted run: (key asc, seq desc).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.common.errors import InvariantViolation
+from repro.common.records import PUT, RecordTuple, encoded_size
+
+#: Version entry stored per key: (seq, kind, vsize).
+Version = Tuple[int, int, int]
+
+
+class Memtable:
+    """Sorted, MVCC-aware in-memory buffer."""
+
+    def __init__(self, key_size: int) -> None:
+        self.key_size = key_size
+        self._keys: List = []
+        self._versions: Dict[object, List[Version]] = {}
+        self.nbytes = 0
+        self.n_records = 0
+        self.min_seq: Optional[int] = None
+        self.max_seq: Optional[int] = None
+
+    def __len__(self) -> int:
+        return self.n_records
+
+    @property
+    def n_keys(self) -> int:
+        return len(self._keys)
+
+    def add(self, rec: RecordTuple) -> None:
+        """Insert one record (any kind)."""
+        key, seq, kind, vsize = rec
+        versions = self._versions.get(key)
+        if versions is None:
+            bisect.insort(self._keys, key)
+            self._versions[key] = [(seq, kind, vsize)]
+        else:
+            if versions[-1][0] >= seq:
+                raise InvariantViolation(
+                    f"memtable sequence numbers must increase per key (key={key!r})"
+                )
+            versions.append((seq, kind, vsize))
+        self.nbytes += encoded_size(rec, self.key_size)
+        self.n_records += 1
+        if self.min_seq is None or seq < self.min_seq:
+            self.min_seq = seq
+        if self.max_seq is None or seq > self.max_seq:
+            self.max_seq = seq
+
+    def get(self, key, snapshot: Optional[int] = None) -> Optional[RecordTuple]:
+        """Newest version of ``key`` visible at ``snapshot`` (None = latest)."""
+        versions = self._versions.get(key)
+        if versions is None:
+            return None
+        if snapshot is None:
+            seq, kind, vsize = versions[-1]
+            return (key, seq, kind, vsize)
+        for seq, kind, vsize in reversed(versions):
+            if seq <= snapshot:
+                return (key, seq, kind, vsize)
+        return None
+
+    def iter_range(self, lo=None, hi=None) -> Iterator[RecordTuple]:
+        """Yield records with ``lo <= key < hi`` in (key asc, seq desc) order.
+
+        ``None`` bounds are open.  All versions are yielded; scan-level
+        snapshot filtering happens in the merging iterator.
+        """
+        keys = self._keys
+        start = 0 if lo is None else bisect.bisect_left(keys, lo)
+        stop = len(keys) if hi is None else bisect.bisect_left(keys, hi)
+        for i in range(start, stop):
+            key = keys[i]
+            for seq, kind, vsize in reversed(self._versions[key]):
+                yield (key, seq, kind, vsize)
+
+    def sorted_records(self) -> List[RecordTuple]:
+        """All records as one sorted run, ready for flushing."""
+        return list(self.iter_range())
+
+    def approximate_live_records(self) -> int:
+        """Distinct keys whose newest version is a PUT (diagnostics)."""
+        return sum(1 for v in self._versions.values() if v[-1][1] == PUT)

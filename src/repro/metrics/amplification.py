@@ -1,0 +1,112 @@
+"""Amplification accounting (paper §5.3 definitions).
+
+* **Write amplification** -- device bytes written by flushes/compactions
+  divided by user-written bytes.  The paper excludes WAL bytes (§6.2), so the
+  registry tracks WAL traffic separately.  Per-level attribution matches the
+  paper's Tables 3 and 4: a write is charged to the level it lands in.
+* **Read amplification** -- random disk I/Os (seeks) per query.
+* **Space amplification** -- on-disk bytes over the logical database size.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable
+
+from repro.metrics.latency import LatencyRecorder
+
+
+class MetricsRegistry:
+    """Counters shared by one DB instance and its storage stack."""
+
+    def __init__(self) -> None:
+        #: Bytes of user payload written (puts + deletes, encoded size).
+        self.user_bytes = 0
+        #: WAL bytes (excluded from write amplification, per §6.2).
+        self.wal_bytes = 0
+        #: Flush/compaction bytes written, attributed to the destination level.
+        self.level_write_bytes: Dict[int, int] = defaultdict(int)
+        #: Bytes read by compactions (device time cost, not part of WA).
+        self.compaction_read_bytes = 0
+        #: Random device I/Os issued by queries (read amplification numerator).
+        self.query_seeks = 0
+        #: Query block reads that hit the page cache.
+        self.cache_hits = 0
+        #: Query block reads that missed the page cache.
+        self.cache_misses = 0
+        #: Event counters: splits, combines, merges, appends, moves, stalls...
+        self.events: Dict[str, int] = defaultdict(int)
+        #: Latency recorder per operation type ("insert", "read", "scan"...).
+        self.latency: Dict[str, LatencyRecorder] = defaultdict(LatencyRecorder)
+
+    # ------------------------------------------------------------------ write
+    def add_user_bytes(self, nbytes: int) -> None:
+        self.user_bytes += nbytes
+
+    def add_wal_bytes(self, nbytes: int) -> None:
+        self.wal_bytes += nbytes
+
+    def add_level_write(self, level: int, nbytes: int) -> None:
+        self.level_write_bytes[level] += nbytes
+
+    def add_compaction_read(self, nbytes: int) -> None:
+        self.compaction_read_bytes += nbytes
+
+    # ------------------------------------------------------------------- read
+    def add_query_io(self, *, seeks: int, hits: int, misses: int) -> None:
+        self.query_seeks += seeks
+        self.cache_hits += hits
+        self.cache_misses += misses
+
+    def bump(self, event: str, n: int = 1) -> None:
+        self.events[event] += n
+
+    def record_latency(self, op: str, latency_s: float) -> None:
+        self.latency[op].record(latency_s)
+
+    # ------------------------------------------------------------ derived WA
+    @property
+    def compaction_write_bytes(self) -> int:
+        return sum(self.level_write_bytes.values())
+
+    def write_amplification(self, *, include_wal: bool = False) -> float:
+        """Total write amplification; WAL excluded by default (paper §6.2)."""
+        if self.user_bytes == 0:
+            return 0.0
+        total = self.compaction_write_bytes
+        if include_wal:
+            total += self.wal_bytes
+        return total / self.user_bytes
+
+    def per_level_write_amplification(self) -> Dict[int, float]:
+        """Write amplification attributed per destination level (Tables 3/4)."""
+        if self.user_bytes == 0:
+            return {}
+        return {
+            level: nbytes / self.user_bytes
+            for level, nbytes in sorted(self.level_write_bytes.items())
+        }
+
+    def read_amplification(self, ops: Iterable[str] = ("read", "scan")) -> float:
+        """Average random I/Os per recorded query of the given op types."""
+        n_ops = sum(self.latency[op].count for op in ops if op in self.latency)
+        if n_ops == 0:
+            return 0.0
+        return self.query_seeks / n_ops
+
+    @staticmethod
+    def space_amplification(disk_bytes: int, logical_bytes: int) -> float:
+        if logical_bytes <= 0:
+            return 0.0
+        return disk_bytes / logical_bytes
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "user_bytes": float(self.user_bytes),
+            "wal_bytes": float(self.wal_bytes),
+            "compaction_write_bytes": float(self.compaction_write_bytes),
+            "write_amplification": self.write_amplification(),
+            "query_seeks": float(self.query_seeks),
+            "cache_hits": float(self.cache_hits),
+            "cache_misses": float(self.cache_misses),
+        }

@@ -1,0 +1,92 @@
+"""Latency recording on the simulated clock.
+
+Latencies are simulated seconds, not wall-clock time.  A recorder keeps every
+sample (simulation runs are op-count bounded, so sample counts stay modest)
+and computes percentiles lazily with numpy.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict
+
+import numpy as np
+
+
+def percentile(samples, q: float) -> float:
+    """The ``q``-th percentile (0..100) of ``samples``; 0.0 when empty."""
+    if len(samples) == 0:
+        return 0.0
+    return float(np.percentile(np.asarray(samples, dtype=np.float64), q))
+
+
+class LatencyRecorder:
+    """Accumulates per-operation latencies for one operation type."""
+
+    __slots__ = ("_samples", "_max", "_sum")
+
+    def __init__(self) -> None:
+        self._samples = array("d")
+        self._max = 0.0
+        self._sum = 0.0
+
+    def record(self, latency_s: float) -> None:
+        self._samples.append(latency_s)
+        self._sum += latency_s
+        if latency_s > self._max:
+            self._max = latency_s
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def max(self) -> float:
+        return self._max
+
+    @property
+    def total(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / len(self._samples) if self._samples else 0.0
+
+    def percentile(self, q: float) -> float:
+        return percentile(self._samples, q)
+
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    def tail_summary(self) -> Dict[str, float]:
+        """The paper's tail-latency digest: p50 / p99 / max (seconds)."""
+        return self.window_summary(0)
+
+    def window_summary(self, start_index: int) -> Dict[str, float]:
+        """Tail digest over samples recorded at/after ``start_index``.
+
+        Lets one DB serve several back-to-back workload runs (as the paper
+        reuses its 1 TB store) with per-run latency reporting.
+        """
+        window = self._samples[start_index:]
+        if not window:
+            return {"count": 0.0, "mean": 0.0, "p50": 0.0, "p99": 0.0, "max": 0.0}
+        arr = np.asarray(window, dtype=np.float64)
+        return {
+            "count": float(len(arr)),
+            "mean": float(arr.mean()),
+            "p50": float(np.percentile(arr, 50.0)),
+            "p99": float(np.percentile(arr, 99.0)),
+            "max": float(arr.max()),
+        }
+
+    def merged_with(self, other: "LatencyRecorder") -> "LatencyRecorder":
+        out = LatencyRecorder()
+        out._samples = array("d", self._samples)
+        out._samples.extend(other._samples)
+        out._max = max(self._max, other._max)
+        out._sum = self._sum + other._sum
+        return out

@@ -1,0 +1,35 @@
+"""The simulated storage substrate.
+
+This package stands in for the paper's testbed hardware (SSD/HDD + ext4 + OS
+page cache); see the substitution table in DESIGN.md.  It provides:
+
+* :class:`~repro.storage.simdisk.SimClock` -- the virtual clock.
+* :class:`~repro.storage.simdisk.SimDisk` -- a block device with seek/bandwidth
+  accounting, a single service channel, and live-space tracking.
+* :class:`~repro.storage.pagecache.PageCache` -- LRU page cache with a
+  ``mincore``-style residency probe.
+* :class:`~repro.storage.background.BackgroundPool` -- n-thread background job
+  execution that consumes idle device time.
+* :class:`~repro.storage.runtime.Runtime` -- the bundle handed to engines.
+* :class:`~repro.storage.wal.WriteAheadLog` and
+  :class:`~repro.storage.manifest.Manifest` -- durability primitives.
+"""
+
+from repro.storage.background import BackgroundJob, BackgroundPool
+from repro.storage.manifest import Manifest
+from repro.storage.pagecache import PageCache
+from repro.storage.runtime import Runtime
+from repro.storage.simdisk import SimClock, SimDisk, SimFile
+from repro.storage.wal import WriteAheadLog
+
+__all__ = [
+    "BackgroundJob",
+    "BackgroundPool",
+    "Manifest",
+    "PageCache",
+    "Runtime",
+    "SimClock",
+    "SimDisk",
+    "SimFile",
+    "WriteAheadLog",
+]

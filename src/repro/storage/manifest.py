@@ -1,0 +1,45 @@
+"""Manifest: durable metadata of the tree structure.
+
+LevelDB persists version edits to a MANIFEST file; LSA additionally relies on
+cheap metadata-only "move down" operations (§4.2.1), which are manifest edits
+rather than data rewrites.  The simulated manifest stores an opaque
+checkpoint object (the engine's serialized structure) plus an edit counter,
+and charges a small sequential write per edit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.storage.runtime import Runtime
+
+#: Charged bytes per manifest edit (a version-edit record is tiny).
+EDIT_BYTES = 64
+
+
+class Manifest:
+    """Durable structure metadata for one DB instance."""
+
+    def __init__(self, runtime: Runtime) -> None:
+        self.runtime = runtime
+        self._file = runtime.create_file()
+        self._checkpoint: Optional[Any] = None
+        self.edits = 0
+
+    def log_edit(self) -> float:
+        """Charge one metadata edit; returns the foreground latency."""
+        self.edits += 1
+        self._file.grow(EDIT_BYTES)
+        return self.runtime.disk.fg_stream(nbytes_write=EDIT_BYTES)
+
+    def checkpoint(self, state: Any) -> None:
+        """Store the engine's durable structure snapshot."""
+        self._checkpoint = state
+
+    def restore(self) -> Optional[Any]:
+        """The last checkpointed structure (None before the first one)."""
+        return self._checkpoint
+
+    @property
+    def nbytes(self) -> int:
+        return self._file.nbytes

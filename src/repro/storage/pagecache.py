@@ -1,0 +1,143 @@
+"""LRU page-cache model (the OS page cache of the paper's testbed).
+
+Caches fixed-size blocks keyed by ``(file_id, block_no)``.  Blocks enter on
+both reads and writes (write-back page cache), so freshly appended sequences
+are resident -- the property IAM's mixed level exploits (§5.1.2).  The
+``resident_bytes`` probe is the simulation's analogue of the paper's
+``mincore`` sampling (§5.1.3).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, Tuple
+
+from repro.common.errors import ConfigError
+
+BlockKey = Tuple[int, int]
+
+
+class PageCache:
+    """LRU cache of fixed-size blocks with per-file residency accounting."""
+
+    def __init__(self, capacity_bytes: int, block_size: int) -> None:
+        if capacity_bytes < 0:
+            raise ConfigError("capacity_bytes must be >= 0")
+        if block_size <= 0:
+            raise ConfigError("block_size must be > 0")
+        self.capacity_bytes = capacity_bytes
+        self.block_size = block_size
+        self.max_blocks = capacity_bytes // block_size
+        self._lru: "OrderedDict[BlockKey, None]" = OrderedDict()
+        self._per_file: Dict[int, set] = {}
+        #: Blocks exempt from eviction (§5.1.3 "forcible caching" of appended
+        #: sequences).  Pinned blocks still count against capacity.
+        self._pinned: set = set()
+        self.insertions = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    @property
+    def used_bytes(self) -> int:
+        return len(self._lru) * self.block_size
+
+    # ------------------------------------------------------------------ probe
+    def contains(self, file_id: int, block_no: int) -> bool:
+        return (file_id, block_no) in self._lru
+
+    def resident_blocks(self, file_id: int) -> int:
+        blocks = self._per_file.get(file_id)
+        return len(blocks) if blocks else 0
+
+    def resident_bytes(self, file_id: int) -> int:
+        """``mincore``-style probe: resident bytes of a file's blocks."""
+        return self.resident_blocks(file_id) * self.block_size
+
+    def total_resident_bytes(self) -> int:
+        return self.used_bytes
+
+    # ----------------------------------------------------------------- access
+    def touch(self, file_id: int, block_no: int) -> bool:
+        """Mark a block most-recently-used.  Returns True on hit."""
+        key = (file_id, block_no)
+        if key in self._lru:
+            self._lru.move_to_end(key)
+            return True
+        return False
+
+    def insert(self, file_id: int, block_no: int) -> None:
+        """Insert (or refresh) one block, evicting LRU blocks as needed."""
+        if self.max_blocks == 0:
+            return
+        key = (file_id, block_no)
+        if key in self._lru:
+            self._lru.move_to_end(key)
+            return
+        scanned = 0
+        while len(self._lru) >= self.max_blocks and scanned < len(self._lru):
+            old_key, _ = self._lru.popitem(last=False)
+            if old_key in self._pinned:
+                # Pinned blocks are immune: rotate to the MRU end and keep
+                # looking (bounded by one pass over the cache).
+                self._lru[old_key] = None
+                scanned += 1
+                continue
+            self.evictions += 1
+            self._dec(old_key)
+        self._lru[key] = None
+        blocks = self._per_file.get(file_id)
+        if blocks is None:
+            blocks = set()
+            self._per_file[file_id] = blocks
+        blocks.add(block_no)
+        self.insertions += 1
+
+    def insert_range(self, file_id: int, first_block: int, n_blocks: int) -> None:
+        for b in range(first_block, first_block + n_blocks):
+            self.insert(file_id, b)
+
+    def insert_file_blocks(self, file_id: int, blocks: Iterable[int]) -> None:
+        for b in blocks:
+            self.insert(file_id, b)
+
+    # ---------------------------------------------------------------- pinning
+    def pin_range(self, file_id: int, first_block: int, n_blocks: int) -> None:
+        """Exempt blocks from eviction (§5.1.3 forcible caching).
+
+        Blocks not currently resident are inserted first.  Pins are released
+        by :meth:`unpin_file` or when the file is invalidated.
+        """
+        for b in range(first_block, first_block + n_blocks):
+            self.insert(file_id, b)
+            if self.contains(file_id, b):
+                self._pinned.add((file_id, b))
+
+    def unpin_file(self, file_id: int) -> int:
+        """Release every pin on ``file_id``; returns the number released."""
+        mine = [k for k in self._pinned if k[0] == file_id]
+        for k in mine:
+            self._pinned.discard(k)
+        return len(mine)
+
+    def pinned_blocks(self) -> int:
+        return len(self._pinned)
+
+    # ------------------------------------------------------------- invalidate
+    def invalidate_file(self, file_id: int) -> int:
+        """Drop every block of ``file_id`` (file deletion).  Returns count."""
+        blocks = self._per_file.pop(file_id, None)
+        if not blocks:
+            return 0
+        for block_no in blocks:
+            self._lru.pop((file_id, block_no), None)
+            self._pinned.discard((file_id, block_no))
+        return len(blocks)
+
+    def _dec(self, key: BlockKey) -> None:
+        blocks = self._per_file.get(key[0])
+        if blocks is not None:
+            blocks.discard(key[1])
+            if not blocks:
+                del self._per_file[key[0]]

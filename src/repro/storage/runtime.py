@@ -1,0 +1,146 @@
+"""The storage runtime bundle handed to every engine.
+
+Bundles the clock, device, page cache, background pool and metrics of one DB
+instance, and centralizes the charging conventions:
+
+* Query block reads (:meth:`fg_read_blocks`) go through the page cache; each
+  run of consecutive missing blocks costs one seek plus bandwidth and counts
+  toward read amplification.
+* Flush/compaction I/O is charged through :meth:`bg_write_run` /
+  :meth:`bg_read_run`, which return device-time *debt* for a
+  :class:`~repro.storage.background.BackgroundJob`; bytes are counted and
+  cache blocks are populated immediately (write-back page cache).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.common.options import StorageOptions
+from repro.metrics import MetricsRegistry
+from repro.storage.background import BackgroundJob, BackgroundPool
+from repro.storage.pagecache import PageCache
+from repro.storage.simdisk import SimClock, SimDisk, SimFile
+
+
+class Runtime:
+    """Storage stack of one DB instance."""
+
+    def __init__(self, options: Optional[StorageOptions] = None, *,
+                 background_threads: int = 1,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        self.options = options if options is not None else StorageOptions()
+        self.clock = SimClock()
+        self.disk = SimDisk(self.options.device, self.clock)
+        self.cache = PageCache(self.options.page_cache_bytes, self.options.block_size)
+        self.pool = BackgroundPool(self.disk, background_threads)
+        # Background I/O may run one chunk ahead of "now" (bandwidth sharing).
+        self.pool.lookahead_s = (self.options.io_chunk_bytes
+                                 / self.options.device.write_bandwidth)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    # --------------------------------------------------------------- lifecycle
+    @property
+    def block_size(self) -> int:
+        return self.options.block_size
+
+    def now(self) -> float:
+        return self.clock.now
+
+    def pump(self) -> None:
+        self.pool.pump()
+
+    def submit_job(self, name: str, start_fn, *, high_priority: bool = False,
+                   on_complete=None) -> BackgroundJob:
+        return self.pool.submit(name, start_fn, high_priority=high_priority,
+                                on_complete=on_complete)
+
+    def stall_on(self, job: BackgroundJob, reason: str) -> float:
+        """Foreground wait for a background job; records the stall event."""
+        elapsed = self.pool.wait_for(job)
+        if elapsed > 0.0:
+            self.metrics.bump(f"stall:{reason}")
+        return elapsed
+
+    def quiesce(self) -> float:
+        """Finish all background work (end-of-run barrier)."""
+        return self.pool.drain_all()
+
+    # ------------------------------------------------------------- query reads
+    def fg_read_blocks(self, file_id: int, block_nos: Iterable[int]) -> float:
+        """Read blocks for a query through the cache; returns elapsed time."""
+        misses: List[int] = []
+        hits = 0
+        for b in block_nos:
+            if self.cache.touch(file_id, b):
+                hits += 1
+            else:
+                misses.append(b)
+        if not misses:
+            self.metrics.add_query_io(seeks=0, hits=hits, misses=0)
+            return 0.0
+        # Group consecutive missing blocks into runs: one seek per run.
+        runs = 1
+        for prev, cur in zip(misses, misses[1:]):
+            if cur != prev + 1:
+                runs += 1
+        nbytes = len(misses) * self.block_size
+        elapsed = self.disk.fg_io(nbytes_read=nbytes, seeks=runs)
+        for b in misses:
+            self.cache.insert(file_id, b)
+        self.metrics.add_query_io(seeks=runs, hits=hits, misses=len(misses))
+        return elapsed
+
+    # --------------------------------------------------------- compaction I/O
+    def bg_write_run(self, file: SimFile, nbytes: int, *, level: int,
+                     first_block: int = 0, n_cache_blocks: Optional[int] = None) -> float:
+        """Charge one sequential background write run; returns device debt.
+
+        Grows the file, attributes the bytes to ``level`` for write
+        amplification, and populates the page cache with the written data
+        blocks -- appended sequences start out memory-resident.
+        ``n_cache_blocks`` overrides the block count entered into the cache
+        (data blocks only, when ``nbytes`` includes metadata).
+        """
+        if nbytes <= 0:
+            return 0.0
+        file.grow(nbytes)
+        self.metrics.add_level_write(level, nbytes)
+        self.disk.bg_count(nbytes_write=nbytes, seeks=1)
+        if n_cache_blocks is None:
+            n_cache_blocks = -(-nbytes // self.block_size)
+        if n_cache_blocks > 0:
+            self.cache.insert_range(file.file_id, first_block, n_cache_blocks)
+        return self.disk.io_time(nbytes_write=nbytes, bulk_seeks=1)
+
+    def bg_read_run(self, file_id: int, nbytes: int, *,
+                    resident_bytes: int = 0) -> float:
+        """Charge a background (compaction) read; returns device debt.
+
+        ``resident_bytes`` of the run are served from the page cache for free
+        (the OS reads cached pages without touching the device).
+        """
+        if nbytes <= 0:
+            return 0.0
+        miss_bytes = max(0, nbytes - resident_bytes)
+        self.metrics.add_compaction_read(nbytes)
+        if miss_bytes == 0:
+            return 0.0
+        self.disk.bg_count(nbytes_read=miss_bytes, seeks=1)
+        return self.disk.io_time(nbytes_read=miss_bytes, bulk_seeks=1)
+
+    # ------------------------------------------------------------------ files
+    def create_file(self) -> SimFile:
+        return self.disk.create_file()
+
+    def delete_file(self, file: SimFile) -> None:
+        self.cache.invalidate_file(file.file_id)
+        self.disk.delete_file(file)
+
+    # ---------------------------------------------------------------- reports
+    def space_used_bytes(self) -> int:
+        return self.disk.live_bytes
+
+    def io_report(self) -> Tuple[int, int, int]:
+        """(bytes_read, bytes_written, seeks) device totals."""
+        return (self.disk.bytes_read, self.disk.bytes_written, self.disk.seeks)

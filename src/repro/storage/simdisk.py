@@ -1,0 +1,201 @@
+"""Simulated block device and virtual clock.
+
+The device models exactly the two parameters the paper's analysis depends on:
+seek cost and sequential bandwidth (§2.1: LSM substitutes sequential I/O for
+random I/O).  All I/O -- foreground (user queries, WAL appends, stalls) and
+background (flush/compaction jobs) -- serializes through one channel tracked
+by ``busy_until``:
+
+* *Foreground* I/O starts at ``max(now, busy_until)``; the gap is queueing
+  delay and surfaces as tail latency when compactions saturate the device.
+* *Background* work (see :mod:`repro.storage.background`) only consumes device
+  time in the past-idle window up to "now", so it can never starve foreground
+  traffic, but it does push ``busy_until`` forward and delay it -- the paper's
+  "writes might saturate disk bandwidth and block user queries".
+
+Space accounting is separate from time: :class:`SimFile` tracks live bytes
+(MSTable holes are sparse and cost nothing, §4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.common.errors import InvariantViolation
+from repro.common.options import DeviceProfile
+
+
+class SimClock:
+    """Monotonic virtual clock shared by one DB instance."""
+
+    __slots__ = ("now",)
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def advance(self, dt: float) -> None:
+        if dt < 0:
+            raise InvariantViolation(f"clock cannot go backwards (dt={dt})")
+        self.now += dt
+
+
+class SimFile:
+    """A file on the simulated device.  Tracks live bytes only."""
+
+    __slots__ = ("file_id", "nbytes", "deleted", "_disk")
+
+    def __init__(self, file_id: int, disk: "SimDisk") -> None:
+        self.file_id = file_id
+        self.nbytes = 0
+        self.deleted = False
+        self._disk = disk
+
+    def grow(self, nbytes: int) -> None:
+        """Add live bytes to the file (space accounting only)."""
+        if self.deleted:
+            raise InvariantViolation(f"grow on deleted file {self.file_id}")
+        if nbytes < 0:
+            raise InvariantViolation("file growth must be >= 0")
+        self.nbytes += nbytes
+        self._disk.live_bytes += nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimFile(id={self.file_id}, nbytes={self.nbytes})"
+
+
+class SimDisk:
+    """The simulated device: time, byte counters, and file space."""
+
+    def __init__(self, profile: DeviceProfile, clock: Optional[SimClock] = None) -> None:
+        self.profile = profile
+        self.clock = clock if clock is not None else SimClock()
+        #: Timestamp until which the device channel is committed.
+        self.busy_until = 0.0
+        self.files: Dict[int, SimFile] = {}
+        self._next_file_id = 1
+        #: Total live bytes across all files (space-usage numerator).
+        self.live_bytes = 0
+        # Device counters.
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.read_ops = 0
+        self.write_ops = 0
+        self.seeks = 0
+
+    # ------------------------------------------------------------------ files
+    def create_file(self) -> SimFile:
+        f = SimFile(self._next_file_id, self)
+        self.files[f.file_id] = f
+        self._next_file_id += 1
+        return f
+
+    def delete_file(self, f: SimFile) -> None:
+        if f.deleted:
+            return
+        f.deleted = True
+        self.live_bytes -= f.nbytes
+        del self.files[f.file_id]
+
+    # ------------------------------------------------------------- io costing
+    def io_time(self, *, nbytes_read: int = 0, nbytes_write: int = 0,
+                seeks: int = 0, bulk_seeks: int = 0) -> float:
+        """Device service time for a batch of I/O.
+
+        ``seeks`` are query-path random I/Os; ``bulk_seeks`` are the cheaper
+        run repositionings of flush/compaction streams (see DeviceProfile).
+        """
+        t = seeks * self.profile.seek_time_s + bulk_seeks * self.profile.bulk_seek_time_s
+        if nbytes_read:
+            t += nbytes_read / self.profile.read_bandwidth
+        if nbytes_write:
+            t += nbytes_write / self.profile.write_bandwidth
+        return t
+
+    def _count(self, nbytes_read: int, nbytes_write: int, seeks: int) -> None:
+        if nbytes_read:
+            self.bytes_read += nbytes_read
+            self.read_ops += 1
+        if nbytes_write:
+            self.bytes_written += nbytes_write
+            self.write_ops += 1
+        self.seeks += seeks
+
+    # ------------------------------------------------------------- foreground
+    def fg_io(self, *, nbytes_read: int = 0, nbytes_write: int = 0, seeks: int = 0) -> float:
+        """Perform foreground I/O: wait for the channel, advance the clock.
+
+        Returns the elapsed simulated time (queueing delay + service).
+        """
+        service = self.io_time(nbytes_read=nbytes_read, nbytes_write=nbytes_write, seeks=seeks)
+        start = max(self.clock.now, self.busy_until)
+        end = start + service
+        self.busy_until = end
+        elapsed = end - self.clock.now
+        self.clock.now = end
+        self._count(nbytes_read, nbytes_write, seeks)
+        return elapsed
+
+    def fg_stream(self, *, nbytes_write: int = 0, nbytes_read: int = 0) -> float:
+        """Foreground *streaming* I/O: paced by bandwidth, not queued.
+
+        Models buffered sequential writes (the WAL: absorbed by the page
+        cache and streamed out, never waiting behind compaction I/O).  The
+        clock advances by the transfer time only; ``busy_until`` is not
+        touched, so the un-throttled writer races compaction exactly as a
+        LevelDB client does -- backpressure comes solely from the engine
+        gates (slowdown / stop / memtable rotation), which is where the
+        paper's bursts and stalls originate (§6.2).
+        """
+        service = self.io_time(nbytes_read=nbytes_read, nbytes_write=nbytes_write)
+        self.clock.now += service
+        self._count(nbytes_read, nbytes_write, 0)
+        return service
+
+    # ------------------------------------------------------------- background
+    def bg_grant(self, not_before: float, want_s: float,
+                 lookahead_s: float = 0.0) -> float:
+        """Grant up to ``want_s`` seconds of device time to background work.
+
+        Time is granted inside ``[max(busy_until, not_before), now +
+        lookahead]``: jobs cannot run before they were submitted, but they
+        may fill the channel a bounded ``lookahead_s`` ahead of "now" -- the
+        in-flight background I/O a real device interleaves with foreground
+        traffic.  Foreground ops queue behind ``busy_until``, so bandwidth is
+        shared and compaction pressure surfaces as foreground queueing delay
+        ("writes might saturate disk bandwidth and block user queries", §1).
+        """
+        start = max(self.busy_until, not_before)
+        horizon = self.clock.now + lookahead_s
+        if start >= horizon:
+            return 0.0
+        granted = min(want_s, horizon - start)
+        self.busy_until = start + granted
+        return granted
+
+    def bg_count(self, *, nbytes_read: int = 0, nbytes_write: int = 0, seeks: int = 0) -> None:
+        """Record background I/O volume (time is handled via bg_grant)."""
+        self._count(nbytes_read, nbytes_write, seeks)
+
+    # ----------------------------------------------------------- synchronous
+    def sync_drain(self, service_s: float) -> float:
+        """Consume device time synchronously (a stall): the clock jumps to the
+        completion of ``service_s`` seconds of work queued behind ``busy_until``.
+
+        Returns the elapsed simulated time experienced by the stalled caller.
+        """
+        if service_s < 0:
+            raise InvariantViolation("sync_drain needs service_s >= 0")
+        start = max(self.clock.now, self.busy_until)
+        end = start + service_s
+        self.busy_until = end
+        elapsed = end - self.clock.now
+        self.clock.now = end
+        return elapsed
+
+    # -------------------------------------------------------------- reporting
+    @property
+    def utilization_window(self) -> float:
+        """Fraction of elapsed time the device has been busy so far."""
+        if self.clock.now <= 0:
+            return 0.0
+        return min(1.0, self.busy_until / self.clock.now) if self.busy_until > 0 else 0.0

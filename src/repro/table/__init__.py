@@ -1,0 +1,7 @@
+"""On-disk table formats: sorted sequences, SSTables and MSTables."""
+
+from repro.table.block import Sequence
+from repro.table.merge import merge_runs
+from repro.table.mstable import MSTable
+
+__all__ = ["Sequence", "MSTable", "merge_runs"]

@@ -1,0 +1,177 @@
+"""Sorted sequences and their block layout.
+
+A :class:`Sequence` is one sorted run inside an MSTable (§4.1): records are
+partitioned into fixed-size data blocks; the index (block first-keys) and the
+Bloom filter form the sequence's metadata, which the paper assumes is always
+cached (§2.1), so metadata access costs no device I/O.  Record *content* lives
+in Python lists (the simulation substrate); device reads are charged per
+block through :meth:`repro.storage.runtime.Runtime.fg_read_blocks`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from operator import itemgetter
+from typing import List, Optional, Tuple
+
+from repro.common.errors import InvariantViolation
+from repro.common.records import KEY, RecordTuple, SEQ, encoded_size
+from repro.filters.bloom import BloomFilter
+from repro.storage.runtime import Runtime
+
+_key_of = itemgetter(0)
+
+#: Per-block index entry overhead charged as metadata (key + offset).
+INDEX_ENTRY_BYTES = 24
+
+
+class Sequence:
+    """One immutable sorted run: records + block index + Bloom filter."""
+
+    __slots__ = (
+        "records",
+        "nbytes",
+        "metadata_bytes",
+        "first_block",
+        "n_blocks",
+        "block_start_idx",
+        "bloom",
+        "min_key",
+        "max_key",
+        "min_seq",
+        "max_seq",
+    )
+
+    def __init__(self, records: List[RecordTuple], *, key_size: int, block_size: int,
+                 bloom_bits_per_key: int, first_block: int) -> None:
+        if not records:
+            raise InvariantViolation("a Sequence must hold at least one record")
+        self.records = records
+        self.first_block = first_block
+        # Block layout: greedy fill up to block_size encoded bytes per block.
+        starts: List[int] = [0]
+        acc = 0
+        total = 0
+        min_seq = max_seq = records[0][SEQ]
+        for i, rec in enumerate(records):
+            sz = encoded_size(rec, key_size)
+            total += sz
+            seq = rec[SEQ]
+            if seq < min_seq:
+                min_seq = seq
+            if seq > max_seq:
+                max_seq = seq
+            if acc + sz > block_size and acc > 0:
+                starts.append(i)
+                acc = sz
+            else:
+                acc += sz
+        self.nbytes = total
+        self.block_start_idx = starts
+        self.n_blocks = len(starts)
+        self.min_key = records[0][KEY]
+        self.max_key = records[-1][KEY]
+        self.min_seq = min_seq
+        self.max_seq = max_seq
+        self.bloom = BloomFilter.build([r[KEY] for r in records], bloom_bits_per_key)
+        self.metadata_bytes = self.bloom.nbytes + INDEX_ENTRY_BYTES * self.n_blocks
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------- block math
+    def _record_span(self, lo_key, hi_key) -> Tuple[int, int]:
+        """Record index range [i, j) with lo_key <= key <= hi_key (inclusive)."""
+        recs = self.records
+        i = 0 if lo_key is None else bisect.bisect_left(recs, lo_key, key=_key_of)
+        j = len(recs) if hi_key is None else bisect.bisect_right(recs, hi_key, key=_key_of)
+        return i, j
+
+    def _blocks_for_span(self, i: int, j: int) -> range:
+        """File-relative block numbers covering record indices [i, j)."""
+        if i >= j:
+            return range(0)
+        starts = self.block_start_idx
+        b_lo = bisect.bisect_right(starts, i) - 1
+        b_hi = bisect.bisect_right(starts, j - 1) - 1
+        return range(self.first_block + b_lo, self.first_block + b_hi + 1)
+
+    def block_numbers(self) -> range:
+        """All file-relative block numbers of this sequence."""
+        return range(self.first_block, self.first_block + self.n_blocks)
+
+    # ------------------------------------------------------------------ reads
+    def get(self, runtime: Runtime, file_id: int, key,
+            snapshot: Optional[int] = None) -> Tuple[Optional[RecordTuple], float]:
+        """Newest visible version of ``key``; returns (record|None, latency).
+
+        Charges block reads only when the Bloom filter and key range admit
+        the key (metadata checks are free, §2.1).
+        """
+        if key < self.min_key or key > self.max_key:
+            return None, 0.0
+        if not self.bloom.might_contain(key):
+            return None, 0.0
+        i, j = self._record_span(key, key)
+        if i >= j:
+            # Bloom false positive: the data block is still fetched and
+            # searched before the miss is known.
+            blocks = self._blocks_for_span(i, i + 1) if i < len(self.records) else \
+                self._blocks_for_span(len(self.records) - 1, len(self.records))
+            latency = runtime.fg_read_blocks(file_id, blocks)
+            return None, latency
+        latency = runtime.fg_read_blocks(file_id, self._blocks_for_span(i, j))
+        recs = self.records
+        if snapshot is None:
+            return recs[i], latency
+        for idx in range(i, j):
+            if recs[idx][SEQ] <= snapshot:
+                return recs[idx], latency
+        return None, latency
+
+    def read_range(self, runtime: Runtime, file_id: int, lo_key, hi_key,
+                   ) -> Tuple[List[RecordTuple], float]:
+        """Records with lo <= key <= hi (inclusive bounds, None = open).
+
+        Charges the covering block reads; returns (records, latency).
+        """
+        i, j = self._record_span(lo_key, hi_key)
+        if i >= j:
+            return [], 0.0
+        latency = runtime.fg_read_blocks(file_id, self._blocks_for_span(i, j))
+        return self.records[i:j], latency
+
+    def read_all(self, runtime: Runtime, file_id: int) -> Tuple[List[RecordTuple], float]:
+        latency = runtime.fg_read_blocks(file_id, self.block_numbers())
+        return self.records, latency
+
+    def cursor(self, runtime: Runtime, file_id: int, lo_key=None, hi_key=None,
+               readahead_blocks: int = 8):
+        """Lazily-charging forward iterator over [lo, hi] (inclusive).
+
+        Blocks are charged as the cursor reaches them, ``readahead_blocks``
+        at a time (the paper's testbed enables filesystem read-ahead, §6.1),
+        so a limit-bounded scan only pays for what it consumes.  Positioning
+        uses the cached index and is free.
+        """
+        i, j = self._record_span(lo_key, hi_key)
+        recs = self.records
+        starts = self.block_start_idx
+        first = self.first_block
+        last_block = first + self.n_blocks  # exclusive
+        charged_through = -1  # absolute block number charged so far
+        idx = i
+        # Which block does record `idx` live in?
+        b = bisect.bisect_right(starts, idx) - 1 if i < j else 0
+        next_start = starts[b + 1] if b + 1 < len(starts) else len(recs)
+        while idx < j:
+            if idx >= next_start:
+                b += 1
+                next_start = starts[b + 1] if b + 1 < len(starts) else len(recs)
+            abs_block = first + b
+            if abs_block > charged_through:
+                stop = min(abs_block + readahead_blocks, last_block)
+                runtime.fg_read_blocks(file_id, range(abs_block, stop))
+                charged_through = stop - 1
+            yield recs[idx]
+            idx += 1

@@ -1,0 +1,78 @@
+"""K-way merging of sorted runs with MVCC garbage collection.
+
+Merges (during compactions, leaf flushes, and IAM's merging levels) remove
+outdated records while keeping every version some live snapshot still needs
+(§5.2: "the actual deletes and updates are deferred and fulfilled during later
+compactions").  Tombstones are only eliminated at the bottom level, where no
+older data can exist beneath them.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, List, Optional, Sequence as PySequence
+
+from repro.common.records import DELETE, KEY, KIND, RecordTuple, SEQ, sort_key
+
+
+def merge_runs(runs: PySequence[List[RecordTuple]], *,
+               drop_tombstones: bool = False,
+               snapshots: Optional[PySequence[int]] = None) -> List[RecordTuple]:
+    """Merge sorted runs into one, discarding obsolete versions.
+
+    ``runs`` are (key asc, seq desc) sorted; the output is too.  A version is
+    kept iff it is the newest version visible to the "latest" view or to one
+    of the live ``snapshots`` *within this merge*.  With ``drop_tombstones``
+    (bottom level only) surviving tombstones are elided entirely.
+    """
+    if not runs:
+        return []
+    if len(runs) == 1:
+        stream: Iterable[RecordTuple] = runs[0]
+    else:
+        stream = heapq.merge(*runs, key=sort_key)
+
+    # Views that must stay observable, newest first; None stands for "latest".
+    snap_desc: List[int] = sorted(set(snapshots), reverse=True) if snapshots else []
+
+    out: List[RecordTuple] = []
+    kept: List[RecordTuple] = []  # versions of the current key, newest first
+    cur_key = object()
+    views_left: List[int] = []
+    served_latest = False
+
+    def emit() -> None:
+        # A tombstone is only removable at the bottom when nothing older of
+        # its key survives beneath it -- otherwise dropping it would
+        # resurrect the older version for newer views.
+        if drop_tombstones:
+            while kept and kept[-1][KIND] == DELETE:
+                kept.pop()
+        out.extend(kept)
+        kept.clear()
+
+    for rec in stream:
+        key = rec[KEY]
+        if key is not cur_key and key != cur_key:
+            emit()
+            cur_key = key
+            views_left = list(snap_desc)
+            served_latest = False
+        seq = rec[SEQ]
+        keep = False
+        if not served_latest:
+            served_latest = True
+            keep = True
+        # Serve every snapshot view this version is the newest visible for.
+        while views_left and views_left[0] >= seq:
+            views_left.pop(0)
+            keep = True
+        if keep:
+            kept.append(rec)
+    emit()
+    return out
+
+
+def merged_size_records(runs: PySequence[List[RecordTuple]]) -> int:
+    """Total input records across runs (diagnostics)."""
+    return sum(len(r) for r in runs)

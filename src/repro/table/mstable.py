@@ -1,0 +1,174 @@
+"""MSTable: the Multiple Sequence Table (§4.1).
+
+An MSTable is one on-disk node file.  Data blocks fill from the beginning;
+the clustered metadata (block indexes + Bloom filters) grows from the end;
+the middle hole is sparse and occupies no space.  An SSTable is simply an
+MSTable holding exactly one sequence, so the LSM engines reuse this class.
+
+Sequences are kept in append order; because data always moves down the tree
+in memtable-flush cohorts, a later sequence only ever holds newer records
+than an earlier one.  Point reads therefore probe sequences newest-first and
+stop at the first visible hit (§5.2).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+from repro.common.errors import InvariantViolation
+from repro.common.records import RecordTuple, sort_key
+from repro.storage.runtime import Runtime
+from repro.table.block import Sequence
+
+
+class MSTable:
+    """One on-disk node file holding one or more sorted sequences."""
+
+    __slots__ = ("runtime", "file", "sequences", "next_block", "key_size",
+                 "bloom_bits_per_key", "deleted")
+
+    def __init__(self, runtime: Runtime, *, key_size: int, bloom_bits_per_key: int) -> None:
+        self.runtime = runtime
+        self.file = runtime.create_file()
+        self.sequences: List[Sequence] = []
+        self.next_block = 0
+        self.key_size = key_size
+        self.bloom_bits_per_key = bloom_bits_per_key
+        self.deleted = False
+
+    # ------------------------------------------------------------- properties
+    @property
+    def file_id(self) -> int:
+        return self.file.file_id
+
+    @property
+    def n_sequences(self) -> int:
+        return len(self.sequences)
+
+    @property
+    def data_bytes(self) -> int:
+        return sum(s.nbytes for s in self.sequences)
+
+    @property
+    def metadata_bytes(self) -> int:
+        return sum(s.metadata_bytes for s in self.sequences)
+
+    @property
+    def n_records(self) -> int:
+        return sum(len(s) for s in self.sequences)
+
+    @property
+    def min_key(self):
+        return min(s.min_key for s in self.sequences)
+
+    @property
+    def max_key(self):
+        return max(s.max_key for s in self.sequences)
+
+    @property
+    def max_seq(self) -> int:
+        return max(s.max_seq for s in self.sequences)
+
+    def resident_bytes(self) -> int:
+        """``mincore`` probe: cached bytes of this file (§5.1.3)."""
+        return self.runtime.cache.resident_bytes(self.file_id)
+
+    # ---------------------------------------------------------------- writing
+    def append_sequence(self, records: List[RecordTuple], *, level: int) -> Tuple[Sequence, float]:
+        """Append one sorted run; returns (sequence, device-time debt).
+
+        Charges a sequential background write of data + metadata attributed
+        to ``level``; the written data blocks enter the page cache.
+        """
+        if self.deleted:
+            raise InvariantViolation("append to a deleted MSTable")
+        seq = Sequence(
+            records,
+            key_size=self.key_size,
+            block_size=self.runtime.block_size,
+            bloom_bits_per_key=self.bloom_bits_per_key,
+            first_block=self.next_block,
+        )
+        self.next_block += seq.n_blocks
+        self.sequences.append(seq)
+        debt = self.runtime.bg_write_run(
+            self.file,
+            seq.nbytes + seq.metadata_bytes,
+            level=level,
+            first_block=seq.first_block,
+            n_cache_blocks=seq.n_blocks,
+        )
+        return seq, debt
+
+    @staticmethod
+    def build(runtime: Runtime, records: List[RecordTuple], *, key_size: int,
+              bloom_bits_per_key: int, level: int) -> Tuple["MSTable", float]:
+        """Create a fresh single-sequence table (merge output / SSTable)."""
+        table = MSTable(runtime, key_size=key_size, bloom_bits_per_key=bloom_bits_per_key)
+        _, debt = table.append_sequence(records, level=level)
+        return table, debt
+
+    def delete(self) -> None:
+        """Release the file (after a merge/split replaced this node)."""
+        if not self.deleted:
+            self.deleted = True
+            self.runtime.delete_file(self.file)
+
+    # ---------------------------------------------------------------- reading
+    def get(self, key, snapshot: Optional[int] = None) -> Tuple[Optional[RecordTuple], float]:
+        """Newest visible version across sequences; (record|None, latency)."""
+        latency = 0.0
+        for seq in reversed(self.sequences):
+            if snapshot is not None and seq.min_seq > snapshot:
+                continue
+            rec, lat = seq.get(self.runtime, self.file_id, key, snapshot)
+            latency += lat
+            if rec is not None:
+                return rec, latency
+        return None, latency
+
+    def read_range(self, lo_key, hi_key) -> Tuple[List[List[RecordTuple]], float]:
+        """Range slice of every sequence (newest first); charges block reads."""
+        out: List[List[RecordTuple]] = []
+        latency = 0.0
+        for seq in reversed(self.sequences):
+            recs, lat = seq.read_range(self.runtime, self.file_id, lo_key, hi_key)
+            latency += lat
+            if recs:
+                out.append(recs)
+        return out, latency
+
+    def read_all_records(self) -> Tuple[List[List[RecordTuple]], float]:
+        """Every sequence's records (newest first); charges full reads."""
+        out = []
+        latency = 0.0
+        for seq in reversed(self.sequences):
+            recs, lat = seq.read_all(self.runtime, self.file_id)
+            latency += lat
+            out.append(recs)
+        return out, latency
+
+    def cursor(self, lo_key=None, hi_key=None):
+        """Merged lazily-charging iterator over the whole node's range slice.
+
+        Opens one cursor per sequence (each seeks independently -- the
+        multi-sequence scan cost of append trees, §5.3.2) and merges them.
+        """
+        cursors = [
+            seq.cursor(self.runtime, self.file_id, lo_key, hi_key)
+            for seq in self.sequences
+        ]
+        if len(cursors) == 1:
+            return cursors[0]
+        return heapq.merge(*cursors, key=sort_key)
+
+    def compaction_read_debt(self) -> float:
+        """Background-read debt for consuming this table in a compaction.
+
+        Resident bytes are free (read from page cache); the paper's mixed
+        level counts on exactly this (§5.1.2).
+        """
+        total = self.data_bytes
+        resident = min(self.resident_bytes(), total)
+        return self.runtime.bg_read_run(self.file_id, total, resident_bytes=resident)

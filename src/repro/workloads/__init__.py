@@ -1,0 +1,37 @@
+"""Workload generators and runners (YCSB A-G and db_bench, §6.1)."""
+
+from repro.workloads.distributions import (
+    LatestChooser,
+    ScrambledZipfian,
+    UniformChooser,
+    ZipfianGenerator,
+    permute64,
+)
+from repro.workloads.dbbench import (
+    fill_random,
+    fill_seq,
+    hash_load,
+    overwrite,
+    read_random,
+    read_seq,
+)
+from repro.workloads.runner import WorkloadReport, run_ycsb
+from repro.workloads.ycsb import YCSB_WORKLOADS, YcsbSpec
+
+__all__ = [
+    "LatestChooser",
+    "ScrambledZipfian",
+    "UniformChooser",
+    "ZipfianGenerator",
+    "permute64",
+    "fill_random",
+    "fill_seq",
+    "hash_load",
+    "overwrite",
+    "read_random",
+    "read_seq",
+    "WorkloadReport",
+    "run_ycsb",
+    "YCSB_WORKLOADS",
+    "YcsbSpec",
+]

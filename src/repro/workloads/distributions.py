@@ -1,0 +1,101 @@
+"""Key distributions used by the YCSB workloads.
+
+Implements the standard YCSB generators: uniform, zipfian (Gray et al.'s
+rejection-free method with theta = 0.99), scrambled zipfian (hash-spread hot
+keys) and "latest" (zipfian over recency, for workload D).  ``permute64``
+is the bijective mixer used to turn ordered insert counters into the
+collision-free unordered keys of a *hash load* (§6.2).
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.common.hashing import splitmix64
+
+#: Bijective 64-bit mixer: unique, unordered keys for hash loads (§6.2).
+permute64 = splitmix64
+
+
+class UniformChooser:
+    """Uniform item chooser over [0, n)."""
+
+    def __init__(self, n: int, rng: random.Random) -> None:
+        if n <= 0:
+            raise ConfigError("n must be > 0")
+        self.n = n
+        self.rng = rng
+
+    def sample(self) -> int:
+        return self.rng.randrange(self.n)
+
+
+class ZipfianGenerator:
+    """YCSB's ZipfianGenerator: ranks 0 (hottest) .. n-1, theta = 0.99."""
+
+    def __init__(self, n: int, rng: random.Random, theta: float = 0.99) -> None:
+        if n <= 0:
+            raise ConfigError("n must be > 0")
+        if not (0.0 < theta < 1.0):
+            raise ConfigError("theta must be in (0, 1)")
+        self.n = n
+        self.rng = rng
+        self.theta = theta
+        self.zeta_n = self._zeta(n, theta)
+        self.zeta2 = self._zeta(2, theta)
+        self.alpha = 1.0 / (1.0 - theta)
+        self.eta = ((1.0 - (2.0 / n) ** (1.0 - theta))
+                    / (1.0 - self.zeta2 / self.zeta_n))
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        return float(np.sum(np.arange(1, n + 1, dtype=np.float64) ** -theta))
+
+    def sample(self) -> int:
+        u = self.rng.random()
+        uz = u * self.zeta_n
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return int(self.n * ((self.eta * u - self.eta + 1.0) ** self.alpha))
+
+
+class ScrambledZipfian:
+    """Zipfian popularity spread over the item space by hashing (YCSB)."""
+
+    def __init__(self, n: int, rng: random.Random, theta: float = 0.99) -> None:
+        self.n = n
+        self._zipf = ZipfianGenerator(n, rng, theta)
+
+    def sample(self) -> int:
+        return permute64(self._zipf.sample()) % self.n
+
+
+class LatestChooser:
+    """YCSB "latest" distribution: recent inserts are hottest (workload D).
+
+    ``max_item`` must be advanced as the workload inserts new records.
+    """
+
+    def __init__(self, n: int, rng: random.Random, theta: float = 0.99) -> None:
+        self.max_item = n
+        self.rng = rng
+        self.theta = theta
+        self._zipf = ZipfianGenerator(n, rng, theta)
+
+    def advance(self) -> None:
+        self.max_item += 1
+
+    def sample(self) -> int:
+        rank = self._zipf.sample() % self.max_item
+        return self.max_item - 1 - rank
+
+
+def zipfian_pmf_head(n: int, theta: float, k: int) -> float:
+    """Probability mass of the k hottest ranks (testing aid)."""
+    zeta_n = ZipfianGenerator._zeta(n, theta)
+    return sum(1.0 / (i ** theta) for i in range(1, k + 1)) / zeta_n

@@ -1,0 +1,101 @@
+"""MetricsRegistry: amplification bookkeeping."""
+
+import pytest
+
+from repro.metrics import LatencyRecorder, MetricsRegistry
+
+
+def test_write_amplification_definition():
+    m = MetricsRegistry()
+    m.add_user_bytes(100)
+    m.add_level_write(1, 150)
+    m.add_level_write(2, 250)
+    assert m.compaction_write_bytes == 400
+    assert m.write_amplification() == pytest.approx(4.0)
+
+
+def test_wal_excluded_by_default():
+    m = MetricsRegistry()
+    m.add_user_bytes(100)
+    m.add_wal_bytes(100)
+    m.add_level_write(1, 100)
+    assert m.write_amplification() == pytest.approx(1.0)
+    assert m.write_amplification(include_wal=True) == pytest.approx(2.0)
+
+
+def test_zero_user_bytes_gives_zero():
+    m = MetricsRegistry()
+    m.add_level_write(1, 500)
+    assert m.write_amplification() == 0.0
+    assert m.per_level_write_amplification() == {}
+
+
+def test_per_level_attribution_sorted():
+    m = MetricsRegistry()
+    m.add_user_bytes(100)
+    m.add_level_write(3, 300)
+    m.add_level_write(1, 100)
+    per = m.per_level_write_amplification()
+    assert list(per) == [1, 3]
+    assert per[3] == pytest.approx(3.0)
+
+
+def test_read_amplification_per_query():
+    m = MetricsRegistry()
+    m.add_query_io(seeks=3, hits=1, misses=3)
+    m.record_latency("read", 0.001)
+    m.record_latency("read", 0.002)
+    assert m.read_amplification(("read",)) == pytest.approx(1.5)
+    assert m.read_amplification(("scan",)) == 0.0
+
+
+def test_space_amplification_static():
+    assert MetricsRegistry.space_amplification(150, 100) == pytest.approx(1.5)
+    assert MetricsRegistry.space_amplification(150, 0) == 0.0
+
+
+def test_events_and_summary():
+    m = MetricsRegistry()
+    m.bump("split")
+    m.bump("split", 2)
+    assert m.events["split"] == 3
+    m.add_user_bytes(10)
+    s = m.summary()
+    assert s["user_bytes"] == 10.0
+
+
+def test_latency_recorder_digests():
+    r = LatencyRecorder()
+    for v in [0.001, 0.002, 0.003, 0.100]:
+        r.record(v)
+    assert r.count == 4
+    assert r.max == pytest.approx(0.1)
+    assert r.mean == pytest.approx(0.0265)
+    assert r.percentile(50) == pytest.approx(0.0025)
+    assert r.p99() > 0.09
+    d = r.tail_summary()
+    assert d["count"] == 4.0 and d["max"] == pytest.approx(0.1)
+
+
+def test_latency_window_summary():
+    r = LatencyRecorder()
+    r.record(1.0)
+    r.record(2.0)
+    w = r.window_summary(1)
+    assert w["count"] == 1.0 and w["max"] == 2.0
+    assert r.window_summary(2)["count"] == 0.0
+
+
+def test_latency_merged_with():
+    a, b = LatencyRecorder(), LatencyRecorder()
+    a.record(1.0)
+    b.record(3.0)
+    c = a.merged_with(b)
+    assert c.count == 2 and c.max == 3.0 and c.total == 4.0
+    assert a.count == 1  # originals untouched
+
+
+def test_empty_recorder():
+    r = LatencyRecorder()
+    assert r.mean == 0.0 and r.p99() == 0.0 and r.max == 0.0
+    assert len(r) == 0

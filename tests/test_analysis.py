@@ -1,0 +1,71 @@
+"""Closed-form amplification model (§5.3)."""
+
+import pytest
+
+from repro.analysis import (
+    iam_read_amplification,
+    iam_write_amplification,
+    lsa_read_amplification,
+    lsa_write_amplification,
+    lsm_write_amplification,
+    split_write_amplification,
+    table1_summary,
+)
+from repro.common.errors import ConfigError
+
+
+def test_lsm_write_amp_paper_value():
+    # §2.1: "the write amplification of LSM is about 11 * (n - 1)"
+    assert lsm_write_amplification(7, t=10) == 66
+    assert lsm_write_amplification(1) == 0
+
+
+def test_split_write_amp_small_for_t10():
+    # Eq. (5): 2 * sum (2/t)^j -- well under 1 for t=10
+    w = split_write_amplification(5, t=10)
+    assert 0.4 < w < 0.5
+    assert split_write_amplification(1) == 0.0
+
+
+def test_lsa_write_amp_eq3():
+    # Eq. (3): W = W_sp + n
+    n = 5
+    assert lsa_write_amplification(n) == pytest.approx(
+        split_write_amplification(n) + n)
+
+
+def test_iam_write_amp_eq4():
+    n, m, k, t = 5, 3, 2, 10
+    expected = split_write_amplification(n, t) + n + t / (2 * k) + (t / 2) * (n - m)
+    assert iam_write_amplification(n, m, k, t) == pytest.approx(expected)
+
+
+def test_iam_degenerates_to_lsa_when_m_exceeds_n():
+    assert iam_write_amplification(4, 5, 1) == pytest.approx(lsa_write_amplification(4))
+
+
+def test_larger_k_and_m_reduce_wa():
+    assert iam_write_amplification(5, 3, 3) < iam_write_amplification(5, 3, 1)
+    assert iam_write_amplification(5, 4, 2) < iam_write_amplification(5, 2, 2)
+
+
+def test_read_amplifications():
+    # §5.3.2: LSA ~ 0.5 t per uncached level, IAM/LSM 1 per uncached level.
+    assert iam_read_amplification(5, 3) == 3
+    assert lsa_read_amplification(5, 3) == 15
+    assert lsa_read_amplification(5, 3) == 5 * iam_read_amplification(5, 3)
+
+
+def test_table1_orderings():
+    t1 = table1_summary(n=5, m=3, k=2)
+    assert t1["lsa"].write < t1["iam"].write < t1["lsm"].write
+    assert t1["iam"].read_scan == t1["lsm"].read_scan
+    assert t1["lsa"].read_scan > t1["iam"].read_scan
+    assert t1["lsa"].space == "high" and t1["iam"].space == "low"
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        lsm_write_amplification(0)
+    with pytest.raises(ConfigError):
+        iam_write_amplification(3, 1, 0)

@@ -1,0 +1,73 @@
+"""Bench harness: scaled setups, config factory, report formatting."""
+
+import os
+
+import pytest
+
+from repro.bench.report import format_table, normalize_to
+from repro.bench.scale import (
+    ENGINE_CONFIGS,
+    HDD_100G,
+    HDD_1T,
+    RECORD_BYTES,
+    SSD_100G,
+    make_db,
+    scale_factor,
+)
+
+
+def test_setups_preserve_paper_ratios():
+    # data / memory ratios: 100G/16G and 1T/64G
+    assert SSD_100G.data_bytes_unscaled / SSD_100G.memory_bytes_unscaled == pytest.approx(100 / 16, rel=0.01)
+    assert HDD_1T.data_bytes_unscaled / HDD_1T.memory_bytes_unscaled == pytest.approx(1024 / 64, rel=0.01)
+    assert HDD_1T.data_bytes_unscaled == pytest.approx(
+        SSD_100G.data_bytes_unscaled * 10.24, rel=0.01)
+
+
+def test_n_records_consistent():
+    assert SSD_100G.n_records == SSD_100G.data_bytes // RECORD_BYTES
+    assert HDD_1T.n_records > 9 * SSD_100G.n_records
+
+
+def test_scale_factor_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.5")
+    assert scale_factor() == 0.5
+    monkeypatch.setenv("REPRO_SCALE", "garbage")
+    assert scale_factor() == 1.0
+    monkeypatch.delenv("REPRO_SCALE")
+    assert scale_factor() == 1.0
+
+
+def test_engine_configs_cover_paper_legend():
+    assert set(ENGINE_CONFIGS) == {"L", "R-1t", "R-4t", "A-1t", "A-4t", "I-1t", "I-4t"}
+
+
+@pytest.mark.parametrize("config", list(ENGINE_CONFIGS))
+def test_make_db_builds_each_config(config):
+    db = make_db(config, SSD_100G)
+    engine, threads = ENGINE_CONFIGS[config]
+    assert db.engine.name == engine
+    assert db.runtime.pool.threads == threads
+    assert db.runtime.cache.capacity_bytes == SSD_100G.memory_bytes
+    db.put(1, 64)
+    assert db.get(1) == 64
+
+
+def test_device_profiles_attached():
+    assert make_db("L", SSD_100G).runtime.disk.profile.name == "ssd"
+    assert make_db("L", HDD_100G).runtime.disk.profile.name == "hdd"
+
+
+def test_format_table_alignment():
+    out = format_table(["a", "bb"], [[1, 2.5], ["xxx", 4]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert len(lines) == 5
+
+
+def test_normalize_to_baseline():
+    vals = {"L": 2.0, "I": 5.0}
+    norm = normalize_to("L", vals)
+    assert norm == {"L": 1.0, "I": 2.5}
+    assert normalize_to("missing", vals) == {"L": 0.0, "I": 0.0}

@@ -1,0 +1,59 @@
+"""CLI surface: argument parsing and command execution."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_info_runs(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "REPRO_SCALE" in out
+    assert "ssd-100g" in out
+
+
+def test_load_small(capsys):
+    assert main(["load", "--engine", "iam", "--records", "2000"]) == 0
+    out = capsys.readouterr().out
+    assert "hash load" in out
+    assert "WA" in out
+
+
+def test_load_sequential_lsa(capsys):
+    assert main(["load", "--engine", "lsa", "--records", "2000",
+                 "--sequential"]) == 0
+    assert "fillseq" in capsys.readouterr().out
+
+
+def test_ycsb_command(capsys):
+    assert main(["ycsb", "--workload", "b", "--records", "2000",
+                 "--ops", "200"]) == 0
+    out = capsys.readouterr().out
+    assert "YCSB-B" in out
+    assert "read" in out
+
+
+def test_compare_command(capsys):
+    assert main(["compare", "--records", "2000",
+                 "--engines", "L", "I-1t"]) == 0
+    out = capsys.readouterr().out
+    assert "I-1t" in out and "vs L" in out
+
+
+def test_compare_rejects_unknown_config(capsys):
+    assert main(["compare", "--records", "100", "--engines", "Z-9t"]) == 2
+
+
+def test_experiment_rejects_unknown(capsys):
+    with pytest.raises(SystemExit):
+        main(["experiment", "nope"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_lsmtrie_engine_via_cli(capsys):
+    assert main(["load", "--engine", "lsmtrie", "--records", "2000"]) == 0
+    assert "lsmtrie" in capsys.readouterr().out

@@ -1,0 +1,48 @@
+"""Smoke tests: the shipped examples must run end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "get(1)      -> b'hello'" in out
+    assert "after crash, get(3) -> b'durable?'" in out
+    assert "write amplification" in out
+
+
+def test_crash_recovery_example():
+    out = run_example("crash_recovery.py")
+    assert "0 mismatches" in out
+    assert "recoveries performed: 3" in out
+
+
+def test_compare_policies_small():
+    out = run_example("compare_compaction_policies.py", "5000")
+    assert "A-1t" in out and "I-1t" in out
+
+
+def test_ycsb_example_small():
+    out = run_example("ycsb_benchmark.py", "B", "iam", "ssd", "300")
+    assert "YCSB-B" in out
+    assert "throughput" in out
+
+
+@pytest.mark.slow
+def test_tune_mixed_level_example():
+    out = run_example("tune_mixed_level.py")
+    assert "LSM mode" in out and "LSA mode" in out

@@ -1,0 +1,105 @@
+"""Failure injection: crashes at adversarial points in the write pipeline."""
+
+import random
+
+import pytest
+
+from tests.conftest import ALL_ENGINES, make_tiny_db
+
+
+def _fill_to_rotation_boundary(db, seed=1):
+    """Write until the memtable has just rotated (flush job in flight)."""
+    rng = random.Random(seed)
+    ref = {}
+    rotations = 0
+    last_mem = 0
+    while rotations < 2:
+        k = rng.randrange(1 << 16)
+        v = rng.randrange(10, 99)
+        db.put(k, v)
+        ref[k] = v
+        if db.memtable.nbytes < last_mem:  # rotation happened
+            rotations += 1
+        last_mem = db.memtable.nbytes
+    return ref
+
+
+@pytest.mark.parametrize("engine", ALL_ENGINES)
+def test_crash_with_flush_in_flight(engine):
+    db = make_tiny_db(engine)
+    ref = _fill_to_rotation_boundary(db)
+    # The previous flush may still be paying its device debt.
+    db.crash_and_recover()
+    for k, v in ref.items():
+        assert db.get(k) == v, (engine, k)
+
+
+@pytest.mark.parametrize("engine", ["iam", "leveldb"])
+def test_crash_with_compaction_backlog(engine):
+    db = make_tiny_db(engine)
+    rng = random.Random(2)
+    ref = {}
+    for _ in range(3000):
+        k = rng.randrange(600)
+        v = rng.randrange(10, 99)
+        db.put(k, v)
+        ref[k] = v
+    assert db.runtime.pool.busy or True  # backlog likely outstanding
+    db.crash_and_recover()
+    for k in range(600):
+        assert db.get(k) == ref.get(k)
+    db.check_invariants()
+
+
+def test_crash_immediately_after_delete_of_flushed_key():
+    db = make_tiny_db("iam")
+    db.put(5, 55)
+    db.flush()
+    db.delete(5)  # tombstone only in memtable/WAL
+    db.crash_and_recover()
+    assert db.get(5) is None
+
+
+def test_crash_between_batch_and_read():
+    db = make_tiny_db("lsa")
+    with db.write_batch() as b:
+        for i in range(30):
+            b.put(i, i)
+    db.crash_and_recover()
+    assert db.scan(None, None) == [(i, i) for i in range(30)]
+
+
+def test_crash_storm_interleaved_with_snapshots():
+    db = make_tiny_db("iam")
+    rng = random.Random(3)
+    model = {}
+    for round_no in range(3):
+        snap = db.snapshot()  # snapshots do not survive crashes
+        for _ in range(700):
+            k = rng.randrange(300)
+            if rng.random() < 0.2:
+                db.delete(k)
+                model.pop(k, None)
+            else:
+                v = rng.randrange(100)
+                db.put(k, v)
+                model[k] = v
+        db.crash_and_recover()
+        assert db._live_snapshots() == ()
+        for k in range(0, 300, 7):
+            assert db.get(k) == model.get(k)
+    db.quiesce()
+    assert db.scan(None, None) == sorted(model.items())
+
+
+@pytest.mark.parametrize("engine", ["iam", "leveldb"])
+def test_post_recovery_structures_accept_heavy_load(engine):
+    db = make_tiny_db(engine)
+    rng = random.Random(4)
+    for _ in range(1500):
+        db.put(rng.randrange(1 << 20), 64)
+    db.crash_and_recover()
+    for _ in range(2500):
+        db.put(rng.randrange(1 << 20), 64)
+    db.quiesce()
+    db.check_invariants()

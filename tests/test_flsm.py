@@ -1,0 +1,83 @@
+"""FLSM baseline: guard-based appends and §6.8 behaviour."""
+
+import random
+
+import pytest
+
+from repro.db.iamdb import IamDB
+from tests.conftest import make_tiny_db
+
+VAL = 64
+
+
+def test_reads_and_scans_correct():
+    db = make_tiny_db("flsm")
+    rng = random.Random(1)
+    ref = {}
+    for _ in range(2500):
+        k = rng.randrange(400)
+        v = rng.randrange(50, 100)
+        db.put(k, v)
+        ref[k] = v
+    db.quiesce()
+    for k in range(400):
+        assert db.get(k) == ref.get(k)
+    assert db.scan(50, 150) == sorted((k, v) for k, v in ref.items()
+                                      if 50 <= k < 150)
+    db.check_invariants()
+
+
+def test_sequential_load_rewrites_records():
+    """§6.8: FLSM always rewrites on compaction -- no trivial moves."""
+    flsm = make_tiny_db("flsm")
+    for k in range(3000):
+        flsm.put(k, VAL)
+    flsm.quiesce()
+    lsm = make_tiny_db("leveldb")
+    for k in range(3000):
+        lsm.put(k, VAL)
+    lsm.quiesce()
+    assert flsm.write_amplification() > lsm.write_amplification() + 1.0
+
+
+def test_guards_form_sorted_partitions():
+    db = make_tiny_db("flsm")
+    rng = random.Random(2)
+    for _ in range(2500):
+        db.put(rng.randrange(1 << 25), VAL)
+    db.quiesce()
+    eng = db.engine
+    for level, cuts in enumerate(eng._cuts):
+        assert cuts == sorted(cuts)
+    eng.check_invariants()
+
+
+def test_guard_fanin_is_unbounded_by_design():
+    """Table 2: FLSM does not avoid the worst write case; fan-in grows."""
+    db = make_tiny_db("flsm")
+    rng = random.Random(3)
+    for _ in range(4000):
+        db.put(rng.randrange(1 << 25), VAL)
+    assert db.engine.max_guard_fanin() >= 2
+
+
+def test_bottom_guard_merge_reclaims_updates():
+    db = make_tiny_db("flsm")
+    rng = random.Random(4)
+    for _ in range(3000):
+        db.put(rng.randrange(100), VAL)  # heavy updates on few keys
+    db.quiesce()
+    assert db.metrics.events.get("flsm-guard-merge", 0) >= 0
+    for k in range(100):
+        assert db.get(k) == VAL
+
+
+def test_checkpoint_restore():
+    db = make_tiny_db("flsm")
+    for k in range(800):
+        db.put(k, VAL)
+    db.quiesce()
+    state = db.engine.checkpoint_state()
+    db.engine.restore_state(state)
+    db.engine.check_invariants()
+    assert db.get(17) == VAL

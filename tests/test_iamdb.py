@@ -1,0 +1,177 @@
+"""IamDB public API: writes, reads, scans, snapshots, lifecycle."""
+
+import random
+
+import pytest
+
+from repro.common.errors import ConfigError, StoreClosedError
+from repro.db.iamdb import IamDB
+from tests.conftest import ALL_ENGINES, make_tiny_db
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(ConfigError):
+        IamDB("cassandra")
+
+
+def test_put_get_roundtrip(any_engine_db):
+    db = any_engine_db
+    db.put(1, 100)
+    db.put(2, b"hello")
+    assert db.get(1) == 100
+    assert db.get(2) == b"hello"
+    assert db.get(3) is None
+
+
+def test_overwrite_returns_newest(any_engine_db):
+    db = any_engine_db
+    db.put(1, 10)
+    db.put(1, 20)
+    assert db.get(1) == 20
+
+
+def test_delete_hides_key(any_engine_db):
+    db = any_engine_db
+    db.put(1, 10)
+    db.delete(1)
+    assert db.get(1) is None
+    db.put(1, 30)
+    assert db.get(1) == 30
+
+
+def test_delete_survives_flush(any_engine_db):
+    db = any_engine_db
+    db.put(1, 10)
+    db.flush()
+    db.delete(1)
+    db.flush()
+    assert db.get(1) is None
+
+
+def test_scan_bounds_and_limit(any_engine_db):
+    db = any_engine_db
+    for k in range(0, 20, 2):
+        db.put(k, k)
+    assert db.scan(4, 10) == [(4, 4), (6, 6), (8, 8)]
+    assert db.scan(None, 5) == [(0, 0), (2, 2), (4, 4)]
+    assert db.scan(10, None) == [(10, 10), (12, 12), (14, 14), (16, 16), (18, 18)]
+    assert db.scan(None, None, limit=2) == [(0, 0), (2, 2)]
+
+
+def test_scan_sees_memtable_and_disk(any_engine_db):
+    db = any_engine_db
+    for k in range(50):
+        db.put(k, 1)
+    db.flush()
+    db.put(100, 2)  # memtable only
+    rows = db.scan(40, None)
+    assert rows[-1] == (100, 2)
+    assert len(rows) == 11
+
+
+def test_snapshot_repeatable_reads():
+    db = make_tiny_db("iam")
+    db.put(1, 10)
+    with db.snapshot() as snap:
+        db.put(1, 20)
+        db.delete(1)
+        assert db.get(1, snap) == 10
+        assert db.get(1) is None
+        assert db.scan(None, None, snapshot=snap) == [(1, 10)]
+    assert snap.released
+
+
+def test_snapshot_pins_versions_across_compactions():
+    db = make_tiny_db("iam")
+    rng = random.Random(1)
+    db.put(777, 1)
+    snap = db.snapshot()
+    for _ in range(4000):
+        db.put(rng.randrange(1 << 30), 64)
+    db.put(777, 2)
+    db.quiesce()
+    assert db.get(777, snap) == 1
+    assert db.get(777) == 2
+    snap.release()
+
+
+def test_released_snapshot_allows_gc():
+    db = make_tiny_db("iam")
+    s1 = db.snapshot()
+    s2 = db.snapshot()
+    assert db._live_snapshots() == (0,)
+    s1.release()
+    assert db._live_snapshots() == (0,)  # s2 still pins
+    s2.release()
+    assert db._live_snapshots() == ()
+    s2.release()  # idempotent
+
+
+def test_snapshot_accepts_int():
+    db = make_tiny_db("iam")
+    db.put(1, 10)
+    seq = db._seq
+    db.put(1, 20)
+    assert db.get(1, seq) == 10
+
+
+def test_closed_db_rejects_operations():
+    db = make_tiny_db("iam")
+    db.put(1, 10)
+    db.close()
+    for op in (lambda: db.put(2, 2), lambda: db.get(1),
+               lambda: db.scan(None, None), lambda: db.delete(1),
+               lambda: db.flush()):
+        with pytest.raises(StoreClosedError):
+            op()
+
+
+def test_flush_moves_memtable_to_engine():
+    db = make_tiny_db("iam")
+    db.put(1, 10)
+    assert len(db.memtable) == 1
+    db.flush()
+    assert len(db.memtable) == 0
+    assert db.get(1) == 10
+
+
+def test_quiesce_finishes_background_work(any_engine_db):
+    db = any_engine_db
+    rng = random.Random(2)
+    for _ in range(1500):
+        db.put(rng.randrange(1 << 20), 64)
+    db.quiesce()
+    assert not db.runtime.pool.busy
+
+
+def test_stats_and_amplification_accessors(any_engine_db):
+    db = any_engine_db
+    rng = random.Random(3)
+    for _ in range(1000):
+        db.put(rng.randrange(1 << 20), 64)
+    db.flush()
+    stats = db.stats()
+    assert stats["engine"] == db.engine.name
+    assert stats["write_amplification"] >= 0.0
+    assert db.space_used_bytes() > 0
+    per = db.per_level_write_amplification()
+    assert per and sum(per.values()) == pytest.approx(db.write_amplification())
+
+
+def test_latency_recorded_per_op_type(any_engine_db):
+    db = any_engine_db
+    db.put(1, 10)
+    db.get(1)
+    db.scan(None, None)
+    lat = db.metrics.latency
+    assert lat["insert"].count == 1
+    assert lat["read"].count == 1
+    assert lat["scan"].count == 1
+
+
+def test_sim_clock_advances_with_work(any_engine_db):
+    db = any_engine_db
+    t0 = db.clock_now
+    for k in range(200):
+        db.put(k, 64)
+    assert db.clock_now > t0

@@ -1,0 +1,112 @@
+"""Cross-engine integration: every engine implements the same KV semantics."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from tests.conftest import ALL_ENGINES, make_tiny_db
+
+
+@st.composite
+def op_sequences(draw):
+    n = draw(st.integers(20, 250))
+    ops = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(["put", "put", "put", "delete"]))
+        key = draw(st.integers(0, 60))
+        val = draw(st.integers(10, 80))
+        ops.append((kind, key, val))
+    return ops
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large])
+@given(op_sequences())
+@pytest.mark.parametrize("engine", ALL_ENGINES)
+def test_engine_matches_dict_model(engine, ops):
+    db = make_tiny_db(engine)
+    model = {}
+    for kind, key, val in ops:
+        if kind == "put":
+            db.put(key, val)
+            model[key] = val
+        else:
+            db.delete(key)
+            model.pop(key, None)
+    db.flush()
+    for key in range(61):
+        assert db.get(key) == model.get(key), (engine, key)
+    assert db.scan(None, None) == sorted(model.items())
+    db.check_invariants()
+
+
+@pytest.mark.parametrize("engine", ALL_ENGINES)
+def test_heavy_churn_with_snapshots(engine):
+    db = make_tiny_db(engine)
+    rng = random.Random(42)
+    model = {}
+    snaps = []  # (snapshot, frozen model)
+    for i in range(5000):
+        k = rng.randrange(250)
+        if rng.random() < 0.2:
+            db.delete(k)
+            model.pop(k, None)
+        else:
+            v = rng.randrange(30, 120)
+            db.put(k, v)
+            model[k] = v
+        if i in (1200, 3100):
+            snaps.append((db.snapshot(), dict(model)))
+    db.quiesce()
+    for k in range(250):
+        assert db.get(k) == model.get(k)
+    for snap, frozen in snaps:
+        sample = rng.sample(range(250), 60)
+        for k in sample:
+            assert db.get(k, snap) == frozen.get(k), (engine, k)
+        assert db.scan(50, 150, snapshot=snap) == sorted(
+            (k, v) for k, v in frozen.items() if 50 <= k < 150)
+        snap.release()
+    db.check_invariants()
+
+
+@pytest.mark.parametrize("engine", ALL_ENGINES)
+def test_all_engines_agree_pairwise(engine):
+    """Same op tape -> byte-identical read results across engines."""
+    rng = random.Random(7)
+    tape = [(rng.randrange(150), rng.randrange(20, 90), rng.random() < 0.15)
+            for _ in range(3000)]
+    db = make_tiny_db(engine)
+    model = {}
+    for key, val, is_del in tape:
+        if is_del:
+            db.delete(key)
+            model.pop(key, None)
+        else:
+            db.put(key, val)
+            model[key] = val
+    db.quiesce()
+    assert db.scan(None, None) == sorted(model.items())
+
+
+@pytest.mark.parametrize("engine", ["iam", "lsa", "leveldb"])
+def test_read_your_writes_always(engine):
+    db = make_tiny_db(engine)
+    rng = random.Random(8)
+    for i in range(2500):
+        k = rng.randrange(1 << 16)
+        db.put(k, i % 200 + 1)
+        assert db.get(k) == i % 200 + 1
+
+
+@pytest.mark.parametrize("engine", ALL_ENGINES)
+def test_invariants_hold_at_every_flush_boundary(engine):
+    db = make_tiny_db(engine)
+    rng = random.Random(9)
+    for i in range(4000):
+        db.put(rng.randrange(1 << 24), 64)
+        if i % 500 == 499:
+            db.check_invariants()
+    db.quiesce()
+    db.check_invariants()

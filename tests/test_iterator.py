@@ -1,0 +1,52 @@
+"""merge_visible: scan visibility semantics."""
+
+from repro.common.records import make_delete, make_put, sort_key
+from repro.db.iterator import merge_visible
+
+
+def test_empty_streams():
+    assert list(merge_visible([])) == []
+    assert list(merge_visible([[], None])) == []
+
+
+def test_single_stream_latest_versions():
+    stream = [make_put(1, 5, 10), make_put(1, 2, 11), make_put(2, 3, 12)]
+    assert list(merge_visible([stream])) == [(1, 10), (2, 12)]
+
+
+def test_merges_across_streams_newest_wins():
+    a = [make_put(1, 9, 1)]
+    b = [make_put(1, 4, 2), make_put(3, 6, 3)]
+    assert list(merge_visible([a, b])) == [(1, 1), (3, 3)]
+
+
+def test_tombstones_hide_keys():
+    a = [make_delete(1, 9)]
+    b = [make_put(1, 4, 7), make_put(2, 5, 8)]
+    assert list(merge_visible([a, b])) == [(2, 8)]
+
+
+def test_snapshot_visibility():
+    stream = [make_put(1, 9, 1), make_put(1, 4, 2)]
+    assert list(merge_visible([stream], snapshot=5)) == [(1, 2)]
+    assert list(merge_visible([stream], snapshot=3)) == []
+    # A tombstone newer than the snapshot does not hide the old version.
+    streams = [[make_delete(2, 9)], [make_put(2, 4, 5)]]
+    assert list(merge_visible(streams, snapshot=5)) == [(2, 5)]
+
+
+def test_hi_key_exclusive():
+    stream = [make_put(k, 1, k) for k in range(5)]
+    assert list(merge_visible([stream], hi_key=3)) == [(0, 0), (1, 1), (2, 2)]
+
+
+def test_limit_counts_only_yielded_pairs():
+    stream = sorted([make_delete(0, 9), make_put(1, 1, 1), make_put(2, 2, 2),
+                     make_put(3, 3, 3)], key=sort_key)
+    assert list(merge_visible([stream], limit=2)) == [(1, 1), (2, 2)]
+
+
+def test_invisible_version_does_not_consume_key():
+    # Newest version invisible at the snapshot; older visible one must win.
+    stream = [make_put(1, 10, 99), make_put(1, 3, 42)]
+    assert list(merge_visible([stream], snapshot=5)) == [(1, 42)]

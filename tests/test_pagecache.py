@@ -1,0 +1,153 @@
+"""Page-cache model: LRU behaviour and mincore-style residency."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import ConfigError
+from repro.storage.pagecache import PageCache
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        PageCache(-1, 10)
+    with pytest.raises(ConfigError):
+        PageCache(10, 0)
+
+
+def test_insert_and_contains():
+    c = PageCache(1024, 256)
+    c.insert(1, 0)
+    assert c.contains(1, 0)
+    assert not c.contains(1, 1)
+    assert len(c) == 1
+    assert c.used_bytes == 256
+
+
+def test_capacity_zero_caches_nothing():
+    c = PageCache(0, 256)
+    c.insert(1, 0)
+    assert not c.contains(1, 0)
+    assert len(c) == 0
+
+
+def test_lru_eviction_order():
+    c = PageCache(4 * 256, 256)
+    for b in range(4):
+        c.insert(1, b)
+    c.touch(1, 0)        # 0 becomes most recent
+    c.insert(1, 4)       # evicts block 1 (the LRU)
+    assert c.contains(1, 0)
+    assert not c.contains(1, 1)
+    assert c.contains(1, 4)
+    assert c.evictions == 1
+
+
+def test_touch_returns_hit_status():
+    c = PageCache(1024, 256)
+    assert not c.touch(1, 0)
+    c.insert(1, 0)
+    assert c.touch(1, 0)
+
+
+def test_resident_bytes_per_file():
+    c = PageCache(10 * 256, 256)
+    c.insert_range(1, 0, 3)
+    c.insert_range(2, 0, 2)
+    assert c.resident_bytes(1) == 3 * 256
+    assert c.resident_bytes(2) == 2 * 256
+    assert c.resident_bytes(99) == 0
+    assert c.total_resident_bytes() == 5 * 256
+
+
+def test_invalidate_file_drops_all_blocks():
+    c = PageCache(10 * 256, 256)
+    c.insert_range(1, 0, 3)
+    c.insert_range(2, 0, 2)
+    assert c.invalidate_file(1) == 3
+    assert c.resident_bytes(1) == 0
+    assert not c.contains(1, 0)
+    assert c.contains(2, 1)
+    assert c.invalidate_file(1) == 0
+
+
+def test_reinsert_refreshes_without_double_count():
+    c = PageCache(10 * 256, 256)
+    c.insert(1, 0)
+    c.insert(1, 0)
+    assert c.resident_blocks(1) == 1
+    assert len(c) == 1
+
+
+def test_eviction_updates_per_file_residency():
+    c = PageCache(2 * 256, 256)
+    c.insert(1, 0)
+    c.insert(1, 1)
+    c.insert(2, 0)  # evicts (1, 0)
+    assert c.resident_blocks(1) == 1
+    assert c.resident_blocks(2) == 1
+
+
+def test_pinned_blocks_survive_eviction_pressure():
+    c = PageCache(4 * 256, 256)
+    c.pin_range(1, 0, 2)
+    for b in range(50):
+        c.insert(2, b)
+    assert c.contains(1, 0) and c.contains(1, 1)
+    assert c.pinned_blocks() == 2
+    assert len(c) <= c.max_blocks
+
+
+def test_unpin_makes_blocks_evictable():
+    c = PageCache(4 * 256, 256)
+    c.pin_range(1, 0, 2)
+    c.unpin_file(1)
+    for b in range(10):
+        c.insert(2, b)
+    assert not c.contains(1, 0)
+    assert c.pinned_blocks() == 0
+
+
+def test_invalidate_releases_pins():
+    c = PageCache(4 * 256, 256)
+    c.pin_range(1, 0, 2)
+    c.invalidate_file(1)
+    assert c.pinned_blocks() == 0
+    assert not c.contains(1, 0)
+
+
+def test_all_pinned_cache_does_not_livelock():
+    c = PageCache(2 * 256, 256)
+    c.pin_range(1, 0, 2)  # cache is entirely pinned
+    c.insert(2, 0)        # must not loop forever; pins survive
+    assert c.contains(1, 0) and c.contains(1, 1)
+
+
+def test_pins_may_exceed_capacity_like_mlock():
+    # Pinned pages cannot be evicted, so (as with mlock'd memory) the cache
+    # can be pushed past its target size by pins.
+    c = PageCache(2 * 256, 256)
+    c.pin_range(1, 0, 10)
+    assert len(c) == 10
+    assert c.pinned_blocks() == 10
+
+
+@given(st.lists(st.tuples(st.integers(1, 5), st.integers(0, 20)), max_size=200))
+def test_residency_accounting_consistent(ops):
+    """Sum of per-file residency always equals total cached blocks."""
+    c = PageCache(8 * 64, 64)
+    for file_id, block in ops:
+        c.insert(file_id, block)
+        total = sum(c.resident_blocks(f) for f in range(1, 6))
+        assert total == len(c)
+        assert len(c) <= c.max_blocks
+
+
+@given(st.lists(st.tuples(st.integers(1, 3), st.integers(0, 10)), max_size=100),
+       st.integers(1, 3))
+def test_invalidate_then_empty(ops, victim):
+    c = PageCache(16 * 64, 64)
+    for file_id, block in ops:
+        c.insert(file_id, block)
+    c.invalidate_file(victim)
+    assert c.resident_blocks(victim) == 0
+    assert all(key[0] != victim for key in c._lru)

@@ -1,0 +1,95 @@
+"""Crash recovery: WAL replay + manifest restore."""
+
+import random
+
+import pytest
+
+from tests.conftest import ALL_ENGINES, make_tiny_db
+
+
+@pytest.mark.parametrize("engine", ALL_ENGINES)
+def test_recover_unflushed_memtable(engine):
+    db = make_tiny_db(engine)
+    db.put(1, 11)
+    db.put(2, 22)
+    assert len(db.memtable) == 2  # nothing flushed yet
+    db.crash_and_recover()
+    assert db.get(1) == 11
+    assert db.get(2) == 22
+
+
+@pytest.mark.parametrize("engine", ALL_ENGINES)
+def test_recover_after_flushes(engine):
+    db = make_tiny_db(engine)
+    rng = random.Random(1)
+    ref = {}
+    for _ in range(1200):
+        k = rng.randrange(300)
+        v = rng.randrange(50, 90)
+        db.put(k, v)
+        ref[k] = v
+    db.crash_and_recover()
+    for k, v in ref.items():
+        assert db.get(k) == v
+    assert db.scan(None, None) == sorted(ref.items())
+
+
+def test_recover_preserves_deletes():
+    db = make_tiny_db("iam")
+    db.put(1, 10)
+    db.flush()
+    db.delete(1)
+    db.crash_and_recover()
+    assert db.get(1) is None
+
+
+def test_seq_continues_after_recovery():
+    db = make_tiny_db("iam")
+    db.put(1, 10)
+    seq_before = db._seq
+    db.crash_and_recover()
+    db.put(2, 20)
+    assert db._seq > seq_before
+    assert db.get(1) == 10 and db.get(2) == 20
+
+
+def test_repeated_crashes():
+    db = make_tiny_db("lsa")
+    rng = random.Random(2)
+    ref = {}
+    for round_no in range(4):
+        for _ in range(400):
+            k = rng.randrange(200)
+            v = rng.randrange(10, 99)
+            db.put(k, v)
+            ref[k] = v
+        db.crash_and_recover()
+    for k, v in ref.items():
+        assert db.get(k) == v
+
+
+def test_recovery_drops_snapshots():
+    db = make_tiny_db("iam")
+    db.put(1, 10)
+    db.snapshot()
+    db.crash_and_recover()
+    assert db._live_snapshots() == ()
+
+
+def test_recovery_counts_event():
+    db = make_tiny_db("iam")
+    db.put(1, 10)
+    db.crash_and_recover()
+    assert db.metrics.events["recovery"] == 1
+
+
+def test_writes_after_recovery_flush_cleanly():
+    db = make_tiny_db("iam")
+    rng = random.Random(3)
+    for _ in range(600):
+        db.put(rng.randrange(1 << 20), 64)
+    db.crash_and_recover()
+    for _ in range(600):
+        db.put(rng.randrange(1 << 20), 64)
+    db.quiesce()
+    db.check_invariants()

@@ -1,0 +1,104 @@
+"""Property-based scan semantics across engines."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from tests.conftest import ALL_ENGINES, make_tiny_db
+
+
+def _build(engine, tape):
+    db = make_tiny_db(engine)
+    model = {}
+    for key, val, is_del in tape:
+        if is_del:
+            db.delete(key)
+            model.pop(key, None)
+        else:
+            db.put(key, val)
+            model[key] = val
+    return db, model
+
+
+@st.composite
+def tapes(draw):
+    n = draw(st.integers(10, 150))
+    return [(draw(st.integers(0, 99)), draw(st.integers(1, 50)),
+             draw(st.booleans())) for _ in range(n)]
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(tapes(), st.integers(0, 99), st.integers(0, 99))
+@pytest.mark.parametrize("engine", ["iam", "leveldb"])
+def test_scan_range_matches_model(engine, tape, a, b):
+    lo, hi = min(a, b), max(a, b)
+    db, model = _build(engine, tape)
+    expected = sorted((k, v) for k, v in model.items() if lo <= k < hi)
+    assert db.scan(lo, hi) == expected
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(tapes(), st.integers(1, 10))
+@pytest.mark.parametrize("engine", ["lsa", "flsm"])
+def test_scan_limit_is_prefix_of_full_scan(engine, tape, limit):
+    db, model = _build(engine, tape)
+    full = db.scan(None, None)
+    assert db.scan(None, None, limit=limit) == full[:limit]
+    assert full == sorted(model.items())
+
+
+@pytest.mark.parametrize("engine", ALL_ENGINES)
+def test_scan_with_flush_boundary_in_middle(engine):
+    db = make_tiny_db(engine)
+    for k in range(0, 100, 2):
+        db.put(k, 1)
+    db.flush()
+    for k in range(1, 100, 2):
+        db.put(k, 2)
+    rows = db.scan(None, None)
+    assert [k for k, _ in rows] == list(range(100))
+
+
+@pytest.mark.parametrize("engine", ALL_ENGINES)
+def test_scan_empty_db(engine):
+    db = make_tiny_db(engine)
+    assert db.scan(None, None) == []
+    assert db.scan(5, 10) == []
+
+
+@pytest.mark.parametrize("engine", ALL_ENGINES)
+def test_scan_charges_io_only_for_consumed_range(engine):
+    """A tiny limited scan must not read the whole store (lazy cursors)."""
+    db = make_tiny_db(engine, storage_kw=dict(page_cache_bytes=0))
+    rng = random.Random(1)
+    seen = set()
+    while len(seen) < 3000:
+        k = rng.randrange(1 << 28)
+        if k not in seen:
+            seen.add(k)
+            db.put(k, 64)
+    db.quiesce()
+    before = db.metrics.cache_misses
+    db.scan(min(seen), None, limit=5)
+    small = db.metrics.cache_misses - before
+    before = db.metrics.cache_misses
+    db.scan(None, None)  # full scan
+    full = db.metrics.cache_misses - before
+    assert small < full / 5
+
+
+@pytest.mark.parametrize("engine", ["iam", "lsa", "leveldb"])
+def test_scan_during_pending_background_work(engine):
+    db = make_tiny_db(engine)
+    rng = random.Random(2)
+    keys = set()
+    for _ in range(2500):
+        k = rng.randrange(500)
+        keys.add(k)
+        db.put(k, 64)
+    # No quiesce: scan must be correct with compaction debt outstanding.
+    rows = db.scan(None, None)
+    assert [k for k, _ in rows] == sorted(keys)

@@ -1,0 +1,88 @@
+"""Write gating: stalls, slowdowns, and bandwidth contention."""
+
+import random
+
+import pytest
+
+from repro.common.options import LsmOptions
+from tests.conftest import make_tiny_db, tiny_lsm_options
+
+
+def _hammer(db, n=3000, seed=1):
+    rng = random.Random(seed)
+    for _ in range(n):
+        db.put(rng.randrange(1 << 30), 64)
+
+
+def test_memtable_rotation_stall_recorded():
+    db = make_tiny_db("leveldb")
+    _hammer(db)
+    assert db.metrics.events.get("stall:memtable-rotation", 0) > 0
+
+
+def test_leveldb_l0_slowdown_engages_under_pressure():
+    db = make_tiny_db("leveldb")
+    _hammer(db, 4000)
+    ev = db.metrics.events
+    assert ev.get("slowdown:l0", 0) + ev.get("stall:l0-stop", 0) > 0
+
+
+def test_rocksdb_debt_slowdown_smoother_max_latency():
+    """RocksDB's soft gate trades steady delays for fewer giant stalls."""
+    lvl = make_tiny_db("leveldb")
+    _hammer(lvl, 5000, seed=2)
+    rks = make_tiny_db("rocksdb", pending_compaction_soft_bytes=2048)
+    _hammer(rks, 5000, seed=2)
+    assert rks.metrics.events.get("slowdown:debt", 0) > 0
+
+
+def test_slowdown_delay_is_rate_based():
+    db = make_tiny_db("leveldb")
+    eng = db.engine
+    bw = db.runtime.disk.profile.write_bandwidth
+    frac = eng.options.delayed_write_fraction
+    d = eng._slowdown_delay(1000)
+    assert d == pytest.approx(1000 / (bw * frac) - 1000 / bw)
+
+
+def test_lsa_write_gate_never_delays():
+    db = make_tiny_db("lsa")
+    assert db.engine.write_gate(1000) == 0.0
+
+
+def test_stalled_inserts_show_in_tail_latency():
+    db = make_tiny_db("leveldb")
+    _hammer(db, 4000, seed=3)
+    ins = db.metrics.latency["insert"]
+    # The maximum insert latency dwarfs the median (bursts & stalls, §6.2).
+    assert ins.max > 50 * max(ins.percentile(50), 1e-9)
+
+
+def test_append_trees_have_better_insert_p99_than_lsm():
+    from tests.conftest import make_matched_db
+    results = {}
+    for engine in ("leveldb", "lsa"):
+        db = make_matched_db(engine)
+        _hammer(db, 6000, seed=4)
+        results[engine] = db.metrics.latency["insert"].p99()
+    assert results["lsa"] <= results["leveldb"]
+
+
+def test_reads_queue_behind_compaction_traffic():
+    """§1: compaction writes saturate bandwidth and block user queries."""
+    db = make_tiny_db("leveldb", storage_kw=dict(page_cache_bytes=0))
+    rng = random.Random(5)
+    keys = [rng.randrange(1 << 30) for _ in range(2500)]
+    for k in keys:
+        db.put(k, 64)
+    # Reads while compaction debt is outstanding...
+    busy_read = db.metrics.latency["read"]
+    for k in keys[:100]:
+        db.get(k)
+    busy_p50 = busy_read.percentile(50)
+    db.quiesce()
+    marks = busy_read.count
+    for k in keys[100:200]:
+        db.get(k)
+    idle = busy_read.window_summary(marks)
+    assert busy_p50 >= idle["p50"] * 0.99  # busy reads are no faster

@@ -1,0 +1,81 @@
+"""Fast, tiny-scale versions of the paper's amplification shapes.
+
+The full-scale versions live in benchmarks/; these keep the core claims
+under continuous test at unit-test cost.
+"""
+
+import random
+
+import pytest
+
+from tests.conftest import make_matched_db
+
+VAL = 64
+
+
+def _unique_load(db, n, seed):
+    rng = random.Random(seed)
+    seen = set()
+    while len(seen) < n:
+        k = rng.randrange(1 << 30)
+        if k not in seen:
+            seen.add(k)
+            db.put(k, VAL)
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    out = {}
+    for engine in ("lsa", "iam", "leveldb", "rocksdb", "flsm"):
+        db = make_matched_db(engine)
+        _unique_load(db, 8000, seed=42)
+        out[engine] = db
+    return out
+
+
+def test_table1_write_ordering(loaded):
+    wa = {e: db.write_amplification() for e, db in loaded.items()}
+    assert wa["lsa"] < wa["iam"] < wa["leveldb"]
+    assert wa["lsa"] < wa["rocksdb"]
+
+
+def test_lsa_per_level_wa_near_one(loaded):
+    per = loaded["lsa"].per_level_write_amplification()
+    internal_levels = sorted(per)[:-1]
+    for lvl in internal_levels:
+        assert per[lvl] < 2.0
+
+
+def test_lsm_flush_level_near_one(loaded):
+    per = loaded["leveldb"].per_level_write_amplification()
+    assert per[0] == pytest.approx(1.0, abs=0.4)
+
+
+def test_space_usage_similar_without_updates(loaded):
+    sizes = {e: db.space_used_bytes() for e, db in loaded.items()}
+    lo, hi = min(sizes.values()), max(sizes.values())
+    assert hi < 1.5 * lo  # no updates -> all trees hold ~the same data
+
+
+def test_load_throughput_ordering(loaded):
+    """Simulated time to absorb the same load: append trees are faster."""
+    t = {e: db.clock_now for e, db in loaded.items()}
+    assert t["lsa"] < t["leveldb"]
+    assert t["iam"] < t["leveldb"] * 1.05
+
+
+def test_scan_seeks_lsa_worst():
+    """§5.3.2 with a cold cache: LSA's multi-sequence nodes cost scans more
+    random reads than the single-sequence structures."""
+    seeks = {}
+    rng = random.Random(7)
+    starts = [rng.randrange(1 << 30) for _ in range(40)]
+    for e in ("lsa", "leveldb"):
+        db = make_matched_db(e, storage_kw=dict(page_cache_bytes=0))
+        _unique_load(db, 8000, seed=43)
+        db.quiesce()
+        before = db.metrics.query_seeks
+        for s in starts:
+            db.scan(s, None, limit=30)
+        seeks[e] = db.metrics.query_seeks - before
+    assert seeks["lsa"] > seeks["leveldb"]

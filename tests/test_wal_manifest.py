@@ -1,0 +1,89 @@
+"""Write-ahead log and manifest."""
+
+import pytest
+
+from repro.common.options import StorageOptions
+from repro.common.records import encoded_size, make_delete, make_put
+from repro.storage.manifest import EDIT_BYTES, Manifest
+from repro.storage.runtime import Runtime
+from repro.storage.wal import WriteAheadLog
+
+KEY_SIZE = 8
+
+
+@pytest.fixture
+def runtime() -> Runtime:
+    return Runtime(StorageOptions(page_cache_bytes=0, block_size=256))
+
+
+def test_append_accounts_bytes_and_advances_clock(runtime):
+    wal = WriteAheadLog(runtime, KEY_SIZE)
+    rec = make_put(1, 1, 100)
+    lat = wal.append(rec)
+    assert lat > 0.0
+    assert wal.nbytes == encoded_size(rec, KEY_SIZE)
+    assert runtime.metrics.wal_bytes == wal.nbytes
+    assert len(wal) == 1
+
+
+def test_wal_bytes_excluded_from_write_amplification(runtime):
+    wal = WriteAheadLog(runtime, KEY_SIZE)
+    runtime.metrics.add_user_bytes(100)
+    wal.append(make_put(1, 1, 100))
+    assert runtime.metrics.write_amplification() == 0.0
+    assert runtime.metrics.write_amplification(include_wal=True) > 0.0
+
+
+def test_truncate_through_drops_prefix(runtime):
+    wal = WriteAheadLog(runtime, KEY_SIZE)
+    for seq in range(1, 6):
+        wal.append(make_put(seq, seq, 10))
+    wal.truncate_through(3)
+    remaining = wal.replay()
+    assert [r[1] for r in remaining] == [4, 5]
+    assert wal.nbytes == sum(encoded_size(r, KEY_SIZE) for r in remaining)
+
+
+def test_replay_preserves_order_and_kinds(runtime):
+    wal = WriteAheadLog(runtime, KEY_SIZE)
+    recs = [make_put(5, 1, 10), make_delete(5, 2), make_put(1, 3, 20)]
+    for r in recs:
+        wal.append(r)
+    assert wal.replay() == recs
+
+
+def test_truncate_frees_space(runtime):
+    wal = WriteAheadLog(runtime, KEY_SIZE)
+    for seq in range(1, 11):
+        wal.append(make_put(seq, seq, 100))
+    before = runtime.space_used_bytes()
+    wal.truncate_through(10)
+    assert runtime.space_used_bytes() < before
+    assert wal.replay() == []
+
+
+def test_append_many_single_run(runtime):
+    wal = WriteAheadLog(runtime, KEY_SIZE)
+    recs = [make_put(i, i + 1, 50) for i in range(10)]
+    ops_before = runtime.disk.write_ops
+    lat = wal.append_many(recs)
+    assert lat > 0.0
+    assert runtime.disk.write_ops == ops_before + 1  # one device run
+    assert wal.replay() == recs
+    assert wal.append_many([]) == 0.0
+
+
+def test_manifest_checkpoint_roundtrip(runtime):
+    m = Manifest(runtime)
+    assert m.restore() is None
+    state = {"levels": [1, 2, 3]}
+    m.checkpoint(state)
+    assert m.restore() == state
+
+
+def test_manifest_edit_accounting(runtime):
+    m = Manifest(runtime)
+    m.log_edit()
+    m.log_edit()
+    assert m.edits == 2
+    assert m.nbytes == 2 * EDIT_BYTES

@@ -1,0 +1,81 @@
+"""YCSB workload specs and the operation stream."""
+
+import random
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.workloads.runner import run_ycsb
+from repro.workloads.ycsb import YCSB_WORKLOADS, YcsbSpec, build_op_stream
+from tests.conftest import make_tiny_db
+
+
+def test_paper_workload_mixes():
+    assert YCSB_WORKLOADS["A"].read == 0.5 and YCSB_WORKLOADS["A"].update == 0.5
+    assert YCSB_WORKLOADS["B"].read == 0.95
+    assert YCSB_WORKLOADS["C"].read == 1.0
+    assert YCSB_WORKLOADS["D"].distribution == "latest"
+    assert YCSB_WORKLOADS["E"].scan == 0.95 and YCSB_WORKLOADS["E"].max_scan_len == 100
+    assert YCSB_WORKLOADS["F"].rmw == 0.5
+    assert YCSB_WORKLOADS["G"].max_scan_len == 10_000
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigError):
+        YcsbSpec("bad", read=0.5)  # does not sum to 1
+    with pytest.raises(ConfigError):
+        YcsbSpec("bad", read=1.0, distribution="gaussian")
+    with pytest.raises(ConfigError):
+        YcsbSpec("bad", scan=1.0, max_scan_len=0)
+
+
+def _loaded_db(n=300):
+    from repro.workloads.distributions import permute64
+    db = make_tiny_db("iam")
+    for i in range(n):
+        db.put(permute64(i), 64)
+    return db
+
+
+def test_run_ycsb_reports():
+    db = _loaded_db()
+    rep = run_ycsb(db, YCSB_WORKLOADS["A"], 300, 300, value_size=64)
+    assert rep.ops == 300
+    assert rep.throughput > 0
+    assert "read" in rep.latency and "insert" in rep.latency
+
+
+def test_op_mix_ratios_statistical():
+    db = _loaded_db()
+    reads_before = db.metrics.latency["read"].count
+    run_ycsb(db, YCSB_WORKLOADS["B"], 1000, 300, value_size=64)
+    reads = db.metrics.latency["read"].count - reads_before
+    assert 900 <= reads <= 990  # ~95%
+
+
+def test_insert_workload_grows_keyspace():
+    db = _loaded_db()
+    rep = run_ycsb(db, YCSB_WORKLOADS["D"], 600, 300, value_size=64)
+    inserts = rep.latency.get("insert", {}).get("count", 0)
+    assert inserts > 0
+
+
+def test_scan_workload_runs_scans():
+    db = _loaded_db()
+    rep = run_ycsb(db, YCSB_WORKLOADS["E"], 200, 300, value_size=64)
+    assert rep.latency["scan"]["count"] > 150
+
+
+def test_rmw_reads_then_writes():
+    db = _loaded_db()
+    rep = run_ycsb(db, YCSB_WORKLOADS["F"], 400, 300, value_size=64)
+    assert rep.latency["read"]["count"] > 0
+    assert rep.latency["insert"]["count"] > 0
+
+
+def test_op_stream_deterministic_per_seed():
+    db1, db2 = _loaded_db(), _loaded_db()
+    r1 = run_ycsb(db1, YCSB_WORKLOADS["A"], 300, 300, seed=5, value_size=64)
+    r2 = run_ycsb(db2, YCSB_WORKLOADS["A"], 300, 300, seed=5, value_size=64)
+    assert r1.latency["insert"]["count"] == r2.latency["insert"]["count"]
+    assert db1.metrics.user_bytes == db2.metrics.user_bytes
