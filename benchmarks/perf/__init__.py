@@ -1,0 +1,9 @@
+"""Hot-path microbenchmarks: optimized kernels vs their frozen seed copies.
+
+Each ``perf_*.py`` here is a standalone entry point for one kernel family;
+the timing logic lives in :mod:`repro.bench.perf` so the same suite also
+backs ``python -m repro perf`` (which can ``--update`` / ``--check`` the
+committed ``BENCH_perf.json``).  Run one family with e.g.::
+
+    PYTHONPATH=src python benchmarks/perf/perf_memtable.py [--quick]
+"""

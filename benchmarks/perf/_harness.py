@@ -1,0 +1,33 @@
+"""Shared runner for the standalone ``perf_*.py`` entry points.
+
+Thin shim over :mod:`repro.bench.perf`: parses ``--quick``/``--json``,
+runs the requested suites and prints the table (or the raw report JSON).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+
+def run_standalone(suites: Sequence[str], description: str) -> int:
+    p = argparse.ArgumentParser(description=description)
+    p.add_argument("--quick", action="store_true",
+                   help="smaller problem sizes (not comparable to baselines)")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw report JSON instead of the table")
+    args = p.parse_args()
+    try:
+        from repro.bench.perf import format_report, run_suite
+    except ImportError:
+        print("run with PYTHONPATH=src (repro package not importable)",
+              file=sys.stderr)
+        return 2
+    report = run_suite(suites, quick=args.quick)
+    if args.json:
+        print(json.dumps(report, indent=1, sort_keys=True))
+    else:
+        print(format_report(report))
+    return 0

@@ -1,0 +1,13 @@
+"""End-to-end perf probe: wall-clock of one scaled hash load (I-1t, SSD-100G).
+
+This is the regression canary CI compares against the committed
+``BENCH_perf.json`` -- full scale by default so the numbers are comparable
+to the baseline; ``--quick`` quarters the record count for smoke runs.
+"""
+
+if __name__ == "__main__":
+    import sys
+
+    from _harness import run_standalone
+
+    sys.exit(run_standalone(["end_to_end"], __doc__))

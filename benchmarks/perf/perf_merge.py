@@ -1,0 +1,12 @@
+"""Merge-kernel microbenchmark: tiered merge_runs vs the seed heapq path.
+
+Covers the 2-way pairwise fast path, the 5-way heap path, and the
+snapshot-retention path, each against the frozen reference merge.
+"""
+
+if __name__ == "__main__":
+    import sys
+
+    from _harness import run_standalone
+
+    sys.exit(run_standalone(["merge"], __doc__))

@@ -1,0 +1,12 @@
+"""Page-cache microbenchmark: batch insert_range/touch_range vs per-block.
+
+Drives repeated whole-file admissions through the batch APIs and the frozen
+per-block reference cache, plus the all-hits ``touch_range`` path.
+"""
+
+if __name__ == "__main__":
+    import sys
+
+    from _harness import run_standalone
+
+    sys.exit(run_standalone(["pagecache"], __doc__))

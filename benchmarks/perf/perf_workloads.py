@@ -1,0 +1,13 @@
+"""Key-generation microbenchmark: vectorized chunks vs scalar generators.
+
+Times ``permute64_many`` against per-key ``permute64``, and the chunked
+zipfian / scrambled-zipfian ``sample_many`` against scalar ``sample`` loops
+(identical RNG streams, so outputs match element for element).
+"""
+
+if __name__ == "__main__":
+    import sys
+
+    from _harness import run_standalone
+
+    sys.exit(run_standalone(["workloads"], __doc__))

@@ -9,6 +9,10 @@ per (config, setup, dataset) within the process -- the paper itself loads the
 
 from __future__ import annotations
 
+import contextlib
+import cProfile
+import pstats
+import sys
 from typing import Dict, Tuple
 
 from repro.bench.scale import (
@@ -35,6 +39,28 @@ from repro.workloads.runner import WorkloadReport
 DEFAULT_RUN_OPS = 4000
 
 _loaded_cache: Dict[Tuple, IamDB] = {}
+
+
+@contextlib.contextmanager
+def maybe_profile(enabled: bool, *, sort: str = "cumulative",
+                  limit: int = 30, stream=None):
+    """Optionally cProfile the enclosed block (``--profile`` CLI flag).
+
+    When ``enabled`` is false this is a no-op context manager, so call sites
+    can wrap unconditionally.  Stats go to ``stream`` (default stderr) so
+    they never pollute result output on stdout.
+    """
+    if not enabled:
+        yield None
+        return
+    prof = cProfile.Profile()
+    prof.enable()
+    try:
+        yield prof
+    finally:
+        prof.disable()
+        out = stream if stream is not None else sys.stderr
+        pstats.Stats(prof, stream=out).sort_stats(sort).print_stats(limit)
 
 
 def clear_cache() -> None:

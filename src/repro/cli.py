@@ -8,6 +8,7 @@ Commands
 ``ycsb``         run a YCSB workload (A-G) on a freshly loaded store
 ``compare``      run one load across several engines side by side
 ``experiment``   regenerate a paper table/figure via the bench harness
+``perf``         run the hot-path microbenchmarks (BENCH_perf.json)
 ``info``         print the scaled configuration in effect
 
 Examples
@@ -140,10 +141,16 @@ def cmd_experiment(args) -> int:
         print(f"unknown experiment {args.name!r}; choose from "
               f"{', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
-    result = fn()
+    with harness.maybe_profile(args.profile):
+        result = fn()
     import pprint
     pprint.pprint(result)
     return 0
+
+
+def cmd_perf(args) -> int:
+    from repro.bench.perf import main as perf_main
+    return perf_main(args.perf_args)
 
 
 def cmd_info(args) -> int:
@@ -193,7 +200,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     sp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     sp.add_argument("name", choices=list(EXPERIMENTS))
+    sp.add_argument("--profile", action="store_true",
+                    help="cProfile the experiment (stats to stderr)")
     sp.set_defaults(fn=cmd_experiment)
+
+    sp = sub.add_parser(
+        "perf", help="hot-path microbenchmarks (see `perf --help`)",
+        add_help=False)
+    sp.add_argument("perf_args", nargs=argparse.REMAINDER,
+                    help="arguments for the perf suite, e.g. --quick --check")
+    sp.set_defaults(fn=cmd_perf)
 
     sp = sub.add_parser("info", help="print the scaled configuration")
     sp.set_defaults(fn=cmd_info)
@@ -201,6 +217,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # argparse.REMAINDER mis-parses leading options under a subparser, so the
+    # perf suite (which owns its own argparse) is dispatched before parsing.
+    if argv and argv[0] == "perf":
+        return cmd_perf(argparse.Namespace(perf_args=list(argv[1:])))
     args = build_parser().parse_args(argv)
     return args.fn(args)
 

@@ -8,6 +8,10 @@ hash load, §6.2); the LSM-trie uses it as its placement hash.
 
 from __future__ import annotations
 
+from typing import List, Sequence, Union
+
+import numpy as np
+
 MASK64 = 0xFFFFFFFFFFFFFFFF
 
 
@@ -17,3 +21,22 @@ def splitmix64(x: int) -> int:
     z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & MASK64
     z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & MASK64
     return z ^ (z >> 31)
+
+
+def splitmix64_array(x: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 over a uint64 array; bit-identical to the scalar."""
+    z = x + np.uint64(0x9E3779B97F4A7C15)  # uint64 arithmetic wraps = & MASK64
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return z ^ (z >> np.uint64(31))
+
+
+def splitmix64_many(xs: Union[Sequence[int], np.ndarray]) -> List[int]:
+    """Batch splitmix64 over integers; returns plain Python ints.
+
+    The workload generators call this with whole key chunks instead of
+    mixing one counter at a time; outputs equal ``[splitmix64(x) for x in
+    xs]`` exactly (``tests/test_hashing.py`` asserts it).
+    """
+    arr = np.asarray(xs, dtype=np.uint64)
+    return splitmix64_array(arr).tolist()

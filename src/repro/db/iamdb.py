@@ -166,9 +166,8 @@ class IamDB:
         total = sum(encoded_size(r, self.key_size) for r in recs)
         self.engine.write_gate(total)
         self.wal.append_many(recs)
-        for rec in recs:
-            self.memtable.add(rec)
-            self.metrics.add_user_bytes(encoded_size(rec, self.key_size))
+        self.memtable.add_many(recs)
+        self.metrics.add_user_bytes(total)
         if self.memtable.nbytes >= self.engine.memtable_capacity:
             self._rotate_memtable()
         runtime.pump()
@@ -337,8 +336,9 @@ class IamDB:
             self.engine.restore_state(state["engine"])
             max_seq = state["seq"]
         # Replay the WAL suffix into a fresh memtable.
-        for rec in self.wal.replay():
-            self.memtable.add(rec)
+        replayed = self.wal.replay()
+        self.memtable.add_many(replayed)
+        for rec in replayed:
             if rec[1] > max_seq:
                 max_seq = rec[1]
         self._seq = max(self._seq, max_seq)

@@ -5,12 +5,18 @@ both reads and writes (write-back page cache), so freshly appended sequences
 are resident -- the property IAM's mixed level exploits (§5.1.2).  The
 ``resident_bytes`` probe is the simulation's analogue of the paper's
 ``mincore`` sampling (§5.1.3).
+
+Batch entry points (:meth:`PageCache.insert_many` / :meth:`touch_many` /
+:meth:`touch_range`) let the runtime charge a whole appended sequence or read
+run in one call instead of per-4KiB-block Python method calls; residency,
+LRU order and the insertion/eviction counters stay byte-exact with the
+per-block reference (:class:`repro.bench.reference.ReferencePageCache`).
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from repro.common.errors import ConfigError
 
@@ -67,6 +73,53 @@ class PageCache:
             return True
         return False
 
+    def touch_many(self, file_id: int, block_nos: Iterable[int]) -> List[int]:
+        """Touch a batch of blocks in order; returns the list of *misses*.
+
+        Hits are promoted to most-recently-used exactly as per-block
+        :meth:`touch` calls would; missing block numbers are returned (in
+        input order) for the caller to fetch and :meth:`insert_many`.
+        """
+        lru = self._lru
+        move_to_end = lru.move_to_end
+        misses: List[int] = []
+        append = misses.append
+        for b in block_nos:
+            key = (file_id, b)
+            if key in lru:
+                move_to_end(key)
+            else:
+                append(b)
+        return misses
+
+    def touch_range(self, file_id: int, first_block: int, n_blocks: int) -> int:
+        """Touch ``n_blocks`` consecutive blocks; returns the hit count."""
+        return n_blocks - len(self.touch_many(file_id,
+                                              range(first_block, first_block + n_blocks)))
+
+    def _evict_for_admission(self) -> None:
+        """Make room for one new block, skipping pinned blocks explicitly.
+
+        Scans from the LRU end: unpinned victims are evicted; pinned blocks
+        are rotated to the MRU end and counted, so the scan is bounded by one
+        pass over the cache.  If every resident block is pinned the new block
+        is admitted *over* capacity (mlock-style overcommit -- the same
+        behaviour ``pin_range`` itself relies on); it becomes the eviction
+        victim of the next admission.
+        """
+        lru = self._lru
+        max_blocks = self.max_blocks
+        pinned = self._pinned
+        pinned_rotations = 0
+        while len(lru) >= max_blocks and pinned_rotations < len(lru):
+            old_key, _ = lru.popitem(last=False)
+            if old_key in pinned:
+                lru[old_key] = None
+                pinned_rotations += 1
+                continue
+            self.evictions += 1
+            self._dec(old_key)
+
     def insert(self, file_id: int, block_no: int) -> None:
         """Insert (or refresh) one block, evicting LRU blocks as needed."""
         if self.max_blocks == 0:
@@ -75,17 +128,8 @@ class PageCache:
         if key in self._lru:
             self._lru.move_to_end(key)
             return
-        scanned = 0
-        while len(self._lru) >= self.max_blocks and scanned < len(self._lru):
-            old_key, _ = self._lru.popitem(last=False)
-            if old_key in self._pinned:
-                # Pinned blocks are immune: rotate to the MRU end and keep
-                # looking (bounded by one pass over the cache).
-                self._lru[old_key] = None
-                scanned += 1
-                continue
-            self.evictions += 1
-            self._dec(old_key)
+        if len(self._lru) >= self.max_blocks:
+            self._evict_for_admission()
         self._lru[key] = None
         blocks = self._per_file.get(file_id)
         if blocks is None:
@@ -94,13 +138,65 @@ class PageCache:
         blocks.add(block_no)
         self.insertions += 1
 
+    def insert_many(self, file_id: int, block_nos: Iterable[int]) -> None:
+        """Insert a batch of blocks of one file in order.
+
+        State-identical to per-block :meth:`insert` calls -- one interleaved
+        pass, so hits are promoted and new blocks admitted (with their LRU
+        evictions) in exactly the same order.  When the batch provably fits
+        without eviction, the per-block capacity checks are skipped.
+        """
+        max_blocks = self.max_blocks
+        if max_blocks == 0:
+            return
+        lru = self._lru
+        move_to_end = lru.move_to_end
+        per_file = self._per_file
+        try:
+            n = len(block_nos)  # type: ignore[arg-type]
+        except TypeError:
+            n = None
+        if n is not None and len(lru) + n <= max_blocks:
+            # Fast path: no eviction possible for this whole batch.
+            blocks = per_file.get(file_id)
+            if blocks is None:
+                blocks = set()
+                per_file[file_id] = blocks
+            add = blocks.add
+            admitted = 0
+            for b in block_nos:
+                key = (file_id, b)
+                if key in lru:
+                    move_to_end(key)
+                else:
+                    lru[key] = None
+                    add(b)
+                    admitted += 1
+            self.insertions += admitted
+            return
+        evict = self._evict_for_admission
+        for b in block_nos:
+            key = (file_id, b)
+            if key in lru:
+                move_to_end(key)
+                continue
+            if len(lru) >= max_blocks:
+                evict()
+            lru[key] = None
+            # Re-fetched per block: an eviction of this file's last resident
+            # block drops the per-file set, so a cached reference goes stale.
+            blocks = per_file.get(file_id)
+            if blocks is None:
+                blocks = set()
+                per_file[file_id] = blocks
+            blocks.add(b)
+            self.insertions += 1
+
     def insert_range(self, file_id: int, first_block: int, n_blocks: int) -> None:
-        for b in range(first_block, first_block + n_blocks):
-            self.insert(file_id, b)
+        self.insert_many(file_id, range(first_block, first_block + n_blocks))
 
     def insert_file_blocks(self, file_id: int, blocks: Iterable[int]) -> None:
-        for b in blocks:
-            self.insert(file_id, b)
+        self.insert_many(file_id, blocks)
 
     # ---------------------------------------------------------------- pinning
     def pin_range(self, file_id: int, first_block: int, n_blocks: int) -> None:

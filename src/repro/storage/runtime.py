@@ -69,15 +69,14 @@ class Runtime:
     # ------------------------------------------------------------- query reads
     def fg_read_blocks(self, file_id: int, block_nos: Iterable[int]) -> float:
         """Read blocks for a query through the cache; returns elapsed time."""
-        misses: List[int] = []
-        hits = 0
-        for b in block_nos:
-            if self.cache.touch(file_id, b):
-                hits += 1
-            else:
-                misses.append(b)
+        if isinstance(block_nos, range):
+            n_requested = len(block_nos)
+        else:
+            block_nos = list(block_nos)
+            n_requested = len(block_nos)
+        misses: List[int] = self.cache.touch_many(file_id, block_nos)
         if not misses:
-            self.metrics.add_query_io(seeks=0, hits=hits, misses=0)
+            self.metrics.add_query_io(seeks=0, hits=n_requested, misses=0)
             return 0.0
         # Group consecutive missing blocks into runs: one seek per run.
         runs = 1
@@ -86,9 +85,9 @@ class Runtime:
                 runs += 1
         nbytes = len(misses) * self.block_size
         elapsed = self.disk.fg_io(nbytes_read=nbytes, seeks=runs)
-        for b in misses:
-            self.cache.insert(file_id, b)
-        self.metrics.add_query_io(seeks=runs, hits=hits, misses=len(misses))
+        self.cache.insert_many(file_id, misses)
+        self.metrics.add_query_io(seeks=runs, hits=n_requested - len(misses),
+                                  misses=len(misses))
         return elapsed
 
     # --------------------------------------------------------- compaction I/O

@@ -15,7 +15,7 @@ from operator import itemgetter
 from typing import List, Optional, Tuple
 
 from repro.common.errors import InvariantViolation
-from repro.common.records import KEY, RecordTuple, SEQ, encoded_size
+from repro.common.records import KEY, RECORD_OVERHEAD, RecordTuple, SEQ
 from repro.filters.bloom import BloomFilter
 from repro.storage.runtime import Runtime
 
@@ -49,24 +49,32 @@ class Sequence:
         self.records = records
         self.first_block = first_block
         # Block layout: greedy fill up to block_size encoded bytes per block.
-        starts: List[int] = [0]
+        # Each block is the longest record prefix whose encoded bytes fit
+        # (always at least one record), found by bisecting the prefix sums --
+        # O(blocks log n) instead of a per-record Python loop.
+        fixed = key_size + RECORD_OVERHEAD
+        prefix: List[int] = [0]
         acc = 0
-        total = 0
-        min_seq = max_seq = records[0][SEQ]
-        for i, rec in enumerate(records):
-            sz = encoded_size(rec, key_size)
-            total += sz
-            seq = rec[SEQ]
-            if seq < min_seq:
-                min_seq = seq
-            if seq > max_seq:
-                max_seq = seq
-            if acc + sz > block_size and acc > 0:
-                starts.append(i)
-                acc = sz
-            else:
-                acc += sz
-        self.nbytes = total
+        append = prefix.append
+        for rec in records:
+            v = rec[3]
+            acc += fixed + (v if type(v) is int else len(v))
+            append(acc)
+        n = len(records)
+        starts: List[int] = [0]
+        start = 0
+        while True:
+            stop = bisect.bisect_right(prefix, prefix[start] + block_size) - 1
+            if stop <= start:
+                stop = start + 1  # single record larger than a block
+            if stop >= n:
+                break
+            starts.append(stop)
+            start = stop
+        seqs = [rec[SEQ] for rec in records]
+        min_seq = min(seqs)
+        max_seq = max(seqs)
+        self.nbytes = acc
         self.block_start_idx = starts
         self.n_blocks = len(starts)
         self.min_key = records[0][KEY]

@@ -5,6 +5,21 @@ outdated records while keeping every version some live snapshot still needs
 (§5.2: "the actual deletes and updates are deferred and fulfilled during later
 compactions").  Tombstones are only eliminated at the bottom level, where no
 older data can exist beneath them.
+
+The kernel is tiered by how much work the inputs actually need:
+
+* **No live snapshots** (the overwhelmingly common case during loads): only
+  the newest version of each key can survive, so a single dictionary pass
+  dedups keys without ever materializing the merged stream.
+* **≤ 2 runs**: a pairwise index-pointer list merge -- no heap, no per-record
+  key-function calls.
+* **k > 2 runs**: ``heapq.merge`` as before.
+
+Snapshot bookkeeping walks the per-key view list with an advancing index;
+the seed's ``views_left.pop(0)`` shifted the whole list per served view.
+All paths are record-identical to
+:func:`repro.bench.reference.reference_merge_runs` (enforced by
+``tests/test_merge_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -13,6 +28,73 @@ import heapq
 from typing import Iterable, List, Optional, Sequence as PySequence
 
 from repro.common.records import DELETE, KEY, KIND, RecordTuple, SEQ, sort_key
+
+
+def _merge2(a: List[RecordTuple], b: List[RecordTuple]) -> List[RecordTuple]:
+    """Pairwise merge of two (key asc, seq desc) sorted runs."""
+    out: List[RecordTuple] = []
+    append = out.append
+    i = j = 0
+    na, nb = len(a), len(b)
+    while i < na and j < nb:
+        ra = a[i]
+        rb = b[j]
+        # (key asc, seq desc): ra first if key smaller, or same key newer.
+        ka, kb = ra[0], rb[0]
+        if ka < kb or (ka == kb and ra[1] > rb[1]):
+            append(ra)
+            i += 1
+        else:
+            append(rb)
+            j += 1
+    if i < na:
+        out.extend(a[i:])
+    elif j < nb:
+        out.extend(b[j:])
+    return out
+
+
+def _dedup_newest(runs: PySequence[List[RecordTuple]],
+                  drop_tombstones: bool) -> List[RecordTuple]:
+    """No-snapshot fast path: keep only the newest version of each key.
+
+    With no live snapshots every older version is unreachable, and a
+    surviving tombstone is elided iff ``drop_tombstones`` (it is then by
+    construction the oldest -- and only -- kept version of its key).
+    """
+    if len(runs) == 1:
+        # The run is (key asc, seq desc): the first record per key is newest.
+        out: List[RecordTuple] = []
+        append = out.append
+        prev = _SENTINEL
+        if drop_tombstones:
+            for rec in runs[0]:
+                key = rec[0]
+                if key != prev:
+                    prev = key
+                    if rec[2] != DELETE:
+                        append(rec)
+        else:
+            for rec in runs[0]:
+                key = rec[0]
+                if key != prev:
+                    prev = key
+                    append(rec)
+        return out
+    best: dict = {}
+    get = best.get
+    for run in runs:
+        for rec in run:
+            key = rec[0]
+            cur = get(key)
+            if cur is None or rec[1] > cur[1]:
+                best[key] = rec
+    if drop_tombstones:
+        return [best[k] for k in sorted(best) if best[k][2] != DELETE]
+    return [best[k] for k in sorted(best)]
+
+
+_SENTINEL = object()
 
 
 def merge_runs(runs: PySequence[List[RecordTuple]], *,
@@ -27,18 +109,24 @@ def merge_runs(runs: PySequence[List[RecordTuple]], *,
     """
     if not runs:
         return []
-    if len(runs) == 1:
-        stream: Iterable[RecordTuple] = runs[0]
-    else:
-        stream = heapq.merge(*runs, key=sort_key)
 
     # Views that must stay observable, newest first; None stands for "latest".
     snap_desc: List[int] = sorted(set(snapshots), reverse=True) if snapshots else []
+    if not snap_desc:
+        return _dedup_newest(runs, drop_tombstones)
 
+    if len(runs) == 1:
+        stream: Iterable[RecordTuple] = runs[0]
+    elif len(runs) == 2:
+        stream = _merge2(runs[0], runs[1])
+    else:
+        stream = heapq.merge(*runs, key=sort_key)
+
+    n_views = len(snap_desc)
     out: List[RecordTuple] = []
     kept: List[RecordTuple] = []  # versions of the current key, newest first
-    cur_key = object()
-    views_left: List[int] = []
+    cur_key = _SENTINEL
+    vi = n_views  # index into snap_desc: views [vi:] are still unserved
     served_latest = False
 
     def emit() -> None:
@@ -53,10 +141,10 @@ def merge_runs(runs: PySequence[List[RecordTuple]], *,
 
     for rec in stream:
         key = rec[KEY]
-        if key is not cur_key and key != cur_key:
+        if key != cur_key:
             emit()
             cur_key = key
-            views_left = list(snap_desc)
+            vi = 0
             served_latest = False
         seq = rec[SEQ]
         keep = False
@@ -64,8 +152,8 @@ def merge_runs(runs: PySequence[List[RecordTuple]], *,
             served_latest = True
             keep = True
         # Serve every snapshot view this version is the newest visible for.
-        while views_left and views_left[0] >= seq:
-            views_left.pop(0)
+        while vi < n_views and snap_desc[vi] >= seq:
+            vi += 1
             keep = True
         if keep:
             kept.append(rec)

@@ -5,19 +5,30 @@ rejection-free method with theta = 0.99), scrambled zipfian (hash-spread hot
 keys) and "latest" (zipfian over recency, for workload D).  ``permute64``
 is the bijective mixer used to turn ordered insert counters into the
 collision-free unordered keys of a *hash load* (§6.2).
+
+Every generator also offers a chunked ``sample_many(k)``: the random draws
+still come one by one from the (stateful) ``random.Random`` so the sampled
+sequence is *identical* to ``k`` scalar ``sample()`` calls, but the
+arithmetic that turns draws into items -- the zipfian power transform and
+the 64-bit scramble -- runs vectorized over the whole chunk with numpy.
+``permute64_many`` is the chunked mixer for hash-load key generation.
 """
 
 from __future__ import annotations
 
 import random
+from typing import List
 
 import numpy as np
 
 from repro.common.errors import ConfigError
-from repro.common.hashing import splitmix64
+from repro.common.hashing import splitmix64, splitmix64_array, splitmix64_many
 
 #: Bijective 64-bit mixer: unique, unordered keys for hash loads (§6.2).
 permute64 = splitmix64
+
+#: Chunked mixer: ``permute64_many(range(i, j)) == [permute64(x) for x in ...]``.
+permute64_many = splitmix64_many
 
 
 class UniformChooser:
@@ -31,6 +42,12 @@ class UniformChooser:
 
     def sample(self) -> int:
         return self.rng.randrange(self.n)
+
+    def sample_many(self, k: int) -> List[int]:
+        """``k`` samples; consumes the RNG exactly like ``k`` sample() calls."""
+        randrange = self.rng.randrange
+        n = self.n
+        return [randrange(n) for _ in range(k)]
 
 
 class ZipfianGenerator:
@@ -63,6 +80,23 @@ class ZipfianGenerator:
             return 1
         return int(self.n * ((self.eta * u - self.eta + 1.0) ** self.alpha))
 
+    def sample_many(self, k: int) -> List[int]:
+        """``k`` ranks with the power transform vectorized over the chunk.
+
+        The uniform draws are taken serially from ``self.rng`` (identical
+        stream to ``k`` sample() calls); the IEEE-double transform matches
+        the scalar path bit for bit (asserted by ``tests/test_distributions``).
+        """
+        rng_random = self.rng.random
+        us = np.fromiter((rng_random() for _ in range(k)),
+                         dtype=np.float64, count=k)
+        uz = us * self.zeta_n
+        ranks = (self.n * ((self.eta * us - self.eta + 1.0) ** self.alpha)
+                 ).astype(np.int64)
+        ranks[uz < 1.0 + 0.5 ** self.theta] = 1
+        ranks[uz < 1.0] = 0
+        return ranks.tolist()
+
 
 class ScrambledZipfian:
     """Zipfian popularity spread over the item space by hashing (YCSB)."""
@@ -73,6 +107,10 @@ class ScrambledZipfian:
 
     def sample(self) -> int:
         return permute64(self._zipf.sample()) % self.n
+
+    def sample_many(self, k: int) -> List[int]:
+        ranks = np.asarray(self._zipf.sample_many(k), dtype=np.uint64)
+        return (splitmix64_array(ranks) % np.uint64(self.n)).tolist()
 
 
 class LatestChooser:
@@ -93,6 +131,12 @@ class LatestChooser:
     def sample(self) -> int:
         rank = self._zipf.sample() % self.max_item
         return self.max_item - 1 - rank
+
+    def sample_many(self, k: int) -> List[int]:
+        """``k`` samples at the *current* ``max_item`` (no advances between)."""
+        max_item = self.max_item
+        ranks = np.asarray(self._zipf.sample_many(k), dtype=np.int64)
+        return (max_item - 1 - ranks % max_item).tolist()
 
 
 def zipfian_pmf_head(n: int, theta: float, k: int) -> float:

@@ -90,3 +90,42 @@ def test_latest_chooser_advance_extends_range():
     assert c.max_item == 15
     samples = {c.sample() for _ in range(3000)}
     assert max(samples) >= 10  # new items reachable
+
+
+# ---------------------------------------------- chunked == scalar, same RNG
+def test_uniform_sample_many_matches_scalar():
+    a = UniformChooser(1000, random.Random(11))
+    b = UniformChooser(1000, random.Random(11))
+    assert a.sample_many(5000) == [b.sample() for _ in range(5000)]
+
+
+@pytest.mark.parametrize("seed", [0, 1, 12345])
+@pytest.mark.parametrize("n", [3, 100, 100_000])
+def test_zipfian_sample_many_matches_scalar(seed, n):
+    # The vectorized power transform must match the scalar IEEE-double path
+    # bit for bit, including the rank-0 / rank-1 special cases.
+    a = ZipfianGenerator(n, random.Random(seed))
+    b = ZipfianGenerator(n, random.Random(seed))
+    assert a.sample_many(4000) == [b.sample() for _ in range(4000)]
+
+
+def test_scrambled_sample_many_matches_scalar():
+    a = ScrambledZipfian(1000, random.Random(9))
+    b = ScrambledZipfian(1000, random.Random(9))
+    assert a.sample_many(4000) == [b.sample() for _ in range(4000)]
+
+
+def test_latest_sample_many_matches_scalar():
+    a = LatestChooser(1000, random.Random(4))
+    b = LatestChooser(1000, random.Random(4))
+    for _ in range(17):
+        a.advance()
+        b.advance()
+    assert a.sample_many(4000) == [b.sample() for _ in range(4000)]
+
+
+def test_permute64_many_matches_scalar():
+    from repro.workloads.distributions import permute64_many
+    items = [random.Random(2).randrange(2**63) for _ in range(100)]
+    assert permute64_many(items) == [permute64(x) for x in items]
+    assert permute64_many(range(10_000)) == [permute64(x) for x in range(10_000)]

@@ -28,3 +28,24 @@ def test_spreads_low_entropy_inputs():
     # top byte roughly uniform
     tops = {o >> 56 for o in outs}
     assert len(tops) > 200
+
+
+def test_splitmix64_many_matches_scalar_on_range():
+    from repro.common.hashing import splitmix64_many
+    xs = range(5000)
+    assert splitmix64_many(xs) == [splitmix64(x) for x in xs]
+
+
+@given(st.lists(st.integers(0, MASK64), max_size=300))
+def test_splitmix64_many_matches_scalar(xs):
+    from repro.common.hashing import splitmix64_many
+    assert splitmix64_many(xs) == [splitmix64(x) for x in xs]
+
+
+def test_splitmix64_array_matches_scalar():
+    import numpy as np
+
+    from repro.common.hashing import splitmix64_array
+    xs = [0, 1, 2, MASK64, MASK64 - 1, 0x9E3779B97F4A7C15, 2**63, 2**63 - 1]
+    arr = np.asarray(xs, dtype=np.uint64)
+    assert splitmix64_array(arr).tolist() == [splitmix64(x) for x in xs]

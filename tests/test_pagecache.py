@@ -3,6 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
+from repro.bench.reference import ReferencePageCache
 from repro.common.errors import ConfigError
 from repro.storage.pagecache import PageCache
 
@@ -151,3 +152,95 @@ def test_invalidate_then_empty(ops, victim):
     c.invalidate_file(victim)
     assert c.resident_blocks(victim) == 0
     assert all(key[0] != victim for key in c._lru)
+
+
+# --------------------------------------------------- fully pinned, cache full
+def test_insert_into_fully_pinned_full_cache_overcommits():
+    # All resident blocks pinned AND at capacity: the eviction scan is
+    # bounded (one pass over the pins), and the new block is admitted over
+    # capacity -- mlock-style overcommit, not a drop and not a livelock.
+    c = PageCache(2 * 256, 256)
+    c.pin_range(1, 0, 2)
+    assert len(c) == c.max_blocks == 2
+    c.insert(2, 0)
+    assert c.contains(2, 0)
+    assert c.contains(1, 0) and c.contains(1, 1)
+    assert len(c) == 3           # over capacity by the unpinned newcomer
+    assert c.evictions == 0
+    # The overcommitted block is the next admission's eviction victim.
+    c.insert(2, 1)
+    assert not c.contains(2, 0)
+    assert c.contains(2, 1)
+    assert c.evictions == 1
+
+
+def test_unpinning_lets_cache_shrink_back_to_capacity():
+    c = PageCache(2 * 256, 256)
+    c.pin_range(1, 0, 2)
+    c.insert(2, 0)               # overcommitted to 3 blocks
+    c.unpin_file(1)
+    c.insert(2, 1)               # eviction now drains back under capacity
+    assert len(c) == c.max_blocks
+
+
+def test_insert_many_into_fully_pinned_full_cache_overcommits():
+    c = PageCache(2 * 256, 256)
+    c.pin_range(1, 0, 2)
+    c.insert_many(2, [0, 1, 2])
+    assert c.contains(1, 0) and c.contains(1, 1)
+    # Each admission evicts the previous overcommitted unpinned block.
+    assert c.contains(2, 2)
+    assert len(c) == 3
+
+
+# ------------------------------------------- batch ops vs per-block reference
+_batch_ops = st.lists(
+    st.tuples(st.sampled_from(["insert", "insert_many", "insert_range",
+                               "touch", "touch_many", "touch_range",
+                               "pin_range"]),
+              st.integers(0, 3),                              # file_id
+              st.lists(st.integers(0, 12), max_size=8),       # block list
+              st.integers(0, 10),                             # first_block
+              st.integers(0, 5)),                             # n_blocks
+    max_size=60)
+
+
+@given(_batch_ops, st.integers(1, 8))
+def test_batch_ops_state_identical_to_reference(ops, cap_blocks):
+    """insert_many/touch_many/etc. leave the exact per-block-loop state.
+
+    LRU order, residency, counters and return values must all match the
+    seed cache driven one block at a time.
+    """
+    new = PageCache(cap_blocks * 64, 64)
+    ref = ReferencePageCache(cap_blocks * 64, 64)
+    for kind, f, blocks, first, n in ops:
+        if kind == "insert":
+            for b in blocks:
+                new.insert(f, b)
+                ref.insert(f, b)
+        elif kind == "insert_many":
+            new.insert_many(f, blocks)
+            for b in blocks:
+                ref.insert(f, b)
+        elif kind == "insert_range":
+            new.insert_range(f, first, n)
+            ref.insert_range(f, first, n)
+        elif kind == "touch":
+            for b in blocks:
+                assert new.touch(f, b) == ref.touch(f, b)
+        elif kind == "touch_many":
+            misses = new.touch_many(f, blocks)
+            assert misses == [b for b in blocks if not ref.touch(f, b)]
+        elif kind == "touch_range":
+            hits = new.touch_range(f, first, n)
+            ref_hits = sum(ref.touch(f, b) for b in range(first, first + n))
+            assert hits == ref_hits
+        else:
+            new.pin_range(f, first, n)
+            ref.pin_range(f, first, n)
+        assert list(new._lru) == list(ref._lru)
+        assert new.insertions == ref.insertions
+        assert new.evictions == ref.evictions
+    for f in range(4):
+        assert new.resident_blocks(f) == ref.resident_blocks(f)
