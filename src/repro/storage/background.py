@@ -109,7 +109,7 @@ class BackgroundPool:
         if job.debt_s < 0:
             raise InvariantViolation(f"job {job.name} returned negative debt")
         self.active.append(job)
-        if job.debt_s == 0.0:
+        if job.debt_s <= 0.0:
             self._retire(job)
 
     def _fill_threads(self) -> None:
