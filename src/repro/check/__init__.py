@@ -1,0 +1,25 @@
+"""Correctness tooling for the LSA/IAM engine (``python -m repro check``).
+
+Three independent gates share this package (see DESIGN.md, "Correctness
+tooling"):
+
+* :mod:`repro.check.lint` -- an AST-based determinism lint with repo-specific
+  rules (REP001...); the simulated clock must be the only time source, RNGs
+  must be seeded, structural checks must raise :class:`InvariantViolation`.
+* :mod:`repro.check.typing_gate` -- the mypy strict-ish gate configured in
+  ``pyproject.toml`` (skipped gracefully when mypy is not installed).
+* :mod:`repro.check.sanitizer` -- an opt-in runtime sanitizer that walks the
+  live tree after every structural operation and verifies the paper's
+  invariants (range disjointness, sortedness, the mixed-level ``k`` bound,
+  WAL/memtable agreement, cache pin balance, clock monotonicity).
+
+Only :mod:`repro.check.diagnostics` is imported eagerly: engine modules import
+it for the shared violation-message code path, so this ``__init__`` must stay
+import-light to avoid cycles.
+"""
+
+from __future__ import annotations
+
+from repro.check.diagnostics import Diagnostic, invariant_error
+
+__all__ = ["Diagnostic", "invariant_error"]

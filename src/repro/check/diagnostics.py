@@ -1,0 +1,68 @@
+"""Structured diagnostics for invariant violations.
+
+Every structural check in the engine -- the ad-hoc guards in
+:mod:`repro.memtable.memtable` and :mod:`repro.storage.simdisk` as well as the
+sanitizer's full catalog -- raises through :func:`invariant_error`, so all
+violation messages share one format::
+
+    [check-id] human message | key1=value1 key2=value2
+
+The attached :class:`Diagnostic` keeps the pieces machine-readable: the check
+id names the invariant (stable, greppable), the context dict carries the
+offending values.  This module must stay dependency-light (engine modules
+import it), so it only imports :mod:`repro.common.errors`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping
+
+from repro.common.errors import InvariantViolation
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One structural-invariant violation, machine-readable."""
+
+    #: Stable id of the violated invariant, e.g. ``"level-disjoint"``.
+    check: str
+    #: Human-readable description of what went wrong.
+    message: str
+    #: Offending values (node ranges, sequence counts, clock readings...).
+    context: Mapping[str, Any] = field(default_factory=dict)
+
+    def format(self) -> str:
+        text = f"[{self.check}] {self.message}"
+        if self.context:
+            pairs = " ".join(f"{k}={v!r}" for k, v in self.context.items())
+            text = f"{text} | {pairs}"
+        return text
+
+
+def invariant_error(check: str, message: str, **context: Any) -> InvariantViolation:
+    """Build an :class:`InvariantViolation` carrying a :class:`Diagnostic`.
+
+    The exception's string form is the formatted diagnostic; the structured
+    form is available as ``exc.diagnostic``.  Usage::
+
+        raise invariant_error("clock-monotonic", "clock cannot go backwards",
+                              dt=dt)
+    """
+    diag = Diagnostic(check=check, message=message, context=dict(context))
+    exc = InvariantViolation(diag.format())
+    exc.diagnostic = diag
+    return exc
+
+
+def diagnostic_of(exc: BaseException) -> Diagnostic:
+    """The structured diagnostic of an exception, synthesizing one if absent."""
+    diag = getattr(exc, "diagnostic", None)
+    if isinstance(diag, Diagnostic):
+        return diag
+    return Diagnostic(check="unstructured", message=str(exc))
+
+
+def format_violations(diagnostics: "list[Diagnostic]") -> str:
+    """Render a list of diagnostics, one per line, for reports and tests."""
+    return "\n".join(d.format() for d in diagnostics)

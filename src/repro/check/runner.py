@@ -1,0 +1,166 @@
+"""The ``python -m repro check`` driver.
+
+Runs the three correctness gates in order and reports one status line each:
+
+1. **lint** -- the AST determinism lint (:mod:`repro.check.lint`) over
+   ``src/repro`` (or explicit paths).
+2. **types** -- the mypy strict-ish gate (:mod:`repro.check.typing_gate`);
+   SKIPs with a notice when mypy is not installed.
+3. **sanitizer** -- a smoke workload (mixed puts/deletes/reads/scans, an
+   explicit flush and a crash/recovery cycle) on the IAM and LSA engines with
+   the runtime sanitizer collecting violations.
+
+Exit status is 0 only when no gate FAILs (SKIP does not fail the run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+from typing import List, Optional
+
+from repro.check.lint import RULES, lint_paths, lint_repo
+from repro.check.typing_gate import run_typing_gate
+
+
+def _run_lint(args: argparse.Namespace) -> "tuple[bool, str]":
+    rules = set(args.rule) if args.rule else None
+    if args.paths:
+        findings = lint_paths(args.paths, rules=rules)
+    else:
+        findings = lint_repo(rules=rules)
+    if findings:
+        lines = [f.format() for f in findings]
+        lines.append(f"{len(findings)} finding(s)")
+        return False, "\n".join(lines)
+    return True, "0 findings"
+
+
+def _smoke_workload(engine: str, seed: int) -> "tuple[int, int, List[str]]":
+    """Run a small mixed workload with the sanitizer collecting violations.
+
+    Returns (events_seen, checks_run, violation messages).
+    """
+    from repro.check.sanitizer import Sanitizer, SanitizerOptions
+    from repro.common.options import IamOptions, SSD, StorageOptions
+    from repro.db.iamdb import IamDB
+
+    opts = IamOptions(node_capacity=2048, fanout=3, key_size=8,
+                      bloom_bits_per_key=14, retune_interval=2)
+    storage = StorageOptions(device=SSD, page_cache_bytes=16 * 1024,
+                             block_size=256)
+    db = IamDB(engine, engine_options=opts, storage_options=storage,
+               sanitizer_options=SanitizerOptions(halt_on_violation=False))
+    rng = random.Random(seed)
+    keyspace = 512
+    for i in range(900):
+        roll = rng.random()
+        key = rng.randrange(keyspace)
+        if roll < 0.55:
+            db.put(key, 64)
+        elif roll < 0.65:
+            db.delete(key)
+        elif roll < 0.85:
+            db.get(key)
+        else:
+            lo = rng.randrange(keyspace)
+            db.scan(lo, lo + 16, limit=8)
+        if i == 450:
+            db.flush()
+            db.crash_and_recover()
+    db.flush()
+    db.quiesce()
+    db.engine.check_invariants()
+    sanitizer = db.sanitizer
+    assert sanitizer is not None  # repro: noqa-REP008 (driver-internal)
+    messages = [d.format() for d in sanitizer.violations]
+    summary = sanitizer.summary()
+    db.close()
+    return summary["events_seen"], summary["checks_run"], messages
+
+
+def _run_sanitizer_smoke(args: argparse.Namespace) -> "tuple[bool, str]":
+    total_events = 0
+    total_checks = 0
+    failures: List[str] = []
+    for engine in ("iam", "lsa"):
+        events, checks, messages = _smoke_workload(engine, seed=args.seed)
+        total_events += events
+        total_checks += checks
+        failures.extend(f"[{engine}] {m}" for m in messages)
+    detail = f"{total_events} events, {total_checks} checks"
+    if failures:
+        return False, "\n".join(failures + [detail])
+    return True, detail
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro check",
+        description="determinism lint + typing gate + sanitizer smoke run")
+    p.add_argument("paths", nargs="*",
+                   help="files/directories to lint (default: src/repro)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the lint rule catalog and exit")
+    p.add_argument("--rule", action="append", metavar="REPxxx",
+                   help="restrict the lint to the given rule(s)")
+    p.add_argument("--skip-lint", action="store_true")
+    p.add_argument("--skip-types", action="store_true")
+    p.add_argument("--skip-sanitizer", action="store_true")
+    p.add_argument("--seed", type=int, default=0xC0FFEE,
+                   help="seed of the sanitizer smoke workload")
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule_id, description in sorted(RULES.items()):
+            print(f"{rule_id}  {description}")
+        return 0
+    if args.rule:
+        unknown = [r for r in args.rule if r not in RULES]
+        if unknown:
+            print(f"unknown rule(s): {', '.join(unknown)}")
+            return 2
+
+    failed = False
+
+    if args.skip_lint:
+        print("lint       SKIP (--skip-lint)")
+    else:
+        ok, detail = _run_lint(args)
+        if ok:
+            print(f"lint       PASS ({detail})")
+        else:
+            failed = True
+            print(detail)
+            print("lint       FAIL")
+
+    if args.skip_types:
+        print("types      SKIP (--skip-types)")
+    else:
+        gate = run_typing_gate()
+        if gate.status == "FAIL":
+            failed = True
+            print(gate.output)
+        detail = gate.output.splitlines()[0] if gate.skipped and gate.output else ""
+        print(f"types      {gate.status}" + (f" ({detail})" if detail else ""))
+
+    if args.skip_sanitizer:
+        print("sanitizer  SKIP (--skip-sanitizer)")
+    else:
+        ok, detail = _run_sanitizer_smoke(args)
+        if ok:
+            print(f"sanitizer  PASS ({detail}, 0 violations)")
+        else:
+            failed = True
+            print(detail)
+            print("sanitizer  FAIL")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""The mypy strict-ish typing gate (``repro check --types``).
+
+Configuration lives in ``pyproject.toml`` (``[tool.mypy]``): the annotated
+engine packages (``core``, ``table``, ``storage``, ``db``, ``memtable``,
+``common``, ``check``) are checked with ``disallow_untyped_defs`` and friends.
+
+mypy is an *optional* tool dependency: environments without it (the container
+image bakes in a fixed toolchain) skip the gate with an explicit SKIP result
+instead of failing, so ``python -m repro check`` stays usable everywhere while
+CI -- which installs mypy -- enforces the gate.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class GateResult:
+    """Outcome of one typing-gate run."""
+
+    ok: bool
+    skipped: bool
+    output: str
+
+    @property
+    def status(self) -> str:
+        if self.skipped:
+            return "SKIP"
+        return "PASS" if self.ok else "FAIL"
+
+
+def mypy_available() -> bool:
+    return importlib.util.find_spec("mypy") is not None
+
+
+def _project_root() -> Optional[Path]:
+    """The checkout root (directory holding pyproject.toml), if any."""
+    import repro
+    for parent in Path(repro.__file__).resolve().parents:
+        if (parent / "pyproject.toml").is_file():
+            return parent
+    return None
+
+
+def run_typing_gate(extra_args: Optional[List[str]] = None) -> GateResult:
+    """Run mypy with the repo's pyproject config; SKIP when unavailable."""
+    if not mypy_available():
+        return GateResult(ok=True, skipped=True,
+                          output="mypy is not installed; typing gate skipped "
+                                 "(pip install mypy to enable)")
+    root = _project_root()
+    if root is None:
+        return GateResult(ok=True, skipped=True,
+                          output="pyproject.toml not found; typing gate skipped")
+    cmd = [sys.executable, "-m", "mypy", "--config-file",
+           str(root / "pyproject.toml")]
+    cmd.extend(extra_args or [])
+    proc = subprocess.run(cmd, cwd=str(root), capture_output=True, text=True)
+    output = (proc.stdout + proc.stderr).strip()
+    return GateResult(ok=proc.returncode == 0, skipped=False, output=output)

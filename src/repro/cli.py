@@ -9,7 +9,12 @@ Commands
 ``compare``      run one load across several engines side by side
 ``experiment``   regenerate a paper table/figure via the bench harness
 ``perf``         run the hot-path microbenchmarks (BENCH_perf.json)
+``check``        determinism lint + typing gate + sanitizer smoke run
 ``info``         print the scaled configuration in effect
+
+``load``, ``ycsb`` and ``experiment`` accept ``--sanitize``: every DB built
+for the run gets the runtime sanitizer attached (observation-only; identical
+results, fails fast on a structural invariant violation).
 
 Examples
 --------
@@ -20,6 +25,7 @@ Examples
     python -m repro ycsb --workload E --engine lsa --ops 2000
     python -m repro compare --records 30000 --engines L R-1t A-1t I-1t
     python -m repro experiment table3
+    python -m repro check --list-rules
 """
 
 from __future__ import annotations
@@ -70,7 +76,15 @@ def _report_rows(rep, db) -> list:
     ]
 
 
+def _apply_sanitize(args) -> None:
+    """Install process-wide sanitizer defaults for ``--sanitize`` runs."""
+    if getattr(args, "sanitize", False):
+        from repro.check.sanitizer import SanitizerOptions, set_default_options
+        set_default_options(SanitizerOptions())
+
+
 def cmd_load(args) -> int:
+    _apply_sanitize(args)
     db = _build_db(args.engine, args.device, args.memory_mb, args.threads)
     fn = fill_seq if args.sequential else hash_load
     rep = fn(db, args.records, quiesce=args.quiesce)
@@ -85,6 +99,7 @@ def cmd_load(args) -> int:
 
 
 def cmd_ycsb(args) -> int:
+    _apply_sanitize(args)
     spec = YCSB_WORKLOADS[args.workload.upper()]
     db = _build_db(args.engine, args.device, args.memory_mb, args.threads)
     hash_load(db, args.records, quiesce=False)
@@ -136,6 +151,7 @@ EXPERIMENTS = {
 
 
 def cmd_experiment(args) -> int:
+    _apply_sanitize(args)
     fn = EXPERIMENTS.get(args.name)
     if fn is None:
         print(f"unknown experiment {args.name!r}; choose from "
@@ -151,6 +167,11 @@ def cmd_experiment(args) -> int:
 def cmd_perf(args) -> int:
     from repro.bench.perf import main as perf_main
     return perf_main(args.perf_args)
+
+
+def cmd_check(args) -> int:
+    from repro.check.runner import main as check_main
+    return check_main(args.check_args)
 
 
 def cmd_info(args) -> int:
@@ -177,6 +198,8 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--memory-mb", type=float,
                         default=SSD_100G.memory_bytes / 1e6)
         sp.add_argument("--threads", type=int, default=1)
+        sp.add_argument("--sanitize", action="store_true",
+                        help="attach the runtime sanitizer to every DB")
 
     sp = sub.add_parser("load", help="hash-load records, report amplifications")
     common(sp)
@@ -202,6 +225,8 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("name", choices=list(EXPERIMENTS))
     sp.add_argument("--profile", action="store_true",
                     help="cProfile the experiment (stats to stderr)")
+    sp.add_argument("--sanitize", action="store_true",
+                    help="attach the runtime sanitizer to every DB")
     sp.set_defaults(fn=cmd_experiment)
 
     sp = sub.add_parser(
@@ -210,6 +235,13 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("perf_args", nargs=argparse.REMAINDER,
                     help="arguments for the perf suite, e.g. --quick --check")
     sp.set_defaults(fn=cmd_perf)
+
+    sp = sub.add_parser(
+        "check", help="determinism lint + typing gate + sanitizer smoke",
+        add_help=False)
+    sp.add_argument("check_args", nargs=argparse.REMAINDER,
+                    help="arguments for the check driver, e.g. --list-rules")
+    sp.set_defaults(fn=cmd_check)
 
     sp = sub.add_parser("info", help="print the scaled configuration")
     sp.set_defaults(fn=cmd_info)
@@ -223,6 +255,8 @@ def main(argv=None) -> int:
     # perf suite (which owns its own argparse) is dispatched before parsing.
     if argv and argv[0] == "perf":
         return cmd_perf(argparse.Namespace(perf_args=list(argv[1:])))
+    if argv and argv[0] == "check":
+        return cmd_check(argparse.Namespace(check_args=list(argv[1:])))
     args = build_parser().parse_args(argv)
     return args.fn(args)
 

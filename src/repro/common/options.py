@@ -158,11 +158,11 @@ class LsmOptions(TreeOptions):
         return self.level1_bytes * (self.level_size_multiplier ** (level - 1))
 
     @staticmethod
-    def leveldb(**kw) -> "LsmOptions":
+    def leveldb(**kw: object) -> "LsmOptions":
         return LsmOptions(style="leveldb", **kw)
 
     @staticmethod
-    def rocksdb(**kw) -> "LsmOptions":
+    def rocksdb(**kw: object) -> "LsmOptions":
         defaults = dict(
             style="rocksdb",
             pending_compaction_soft_bytes=paper_bytes(8 * GIB),

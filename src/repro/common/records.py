@@ -26,10 +26,15 @@ ordering for :func:`sorted` / ``heapq``.
 
 from __future__ import annotations
 
-from typing import NamedTuple, Sequence, Tuple, Union
+from typing import Any, NamedTuple, Sequence, Tuple, Union
 
 PUT = 0
 DELETE = 1
+
+#: A record key: any totally-ordered Python value.  The workloads use
+#: fixed-width integers, tests also use bytes/str; ``Any`` is the honest
+#: static type -- ordering is a runtime contract, not a structural one.
+Key = Any
 
 KEY = 0
 SEQ = 1
@@ -64,12 +69,12 @@ def value_nbytes(value: Value) -> int:
     return value if type(value) is int else len(value)
 
 
-def make_put(key, seq: int, value: Value) -> RecordTuple:
+def make_put(key: Key, seq: int, value: Value) -> RecordTuple:
     """Build a PUT record tuple (``value``: bytes, or int = synthetic size)."""
     return (key, seq, PUT, value)
 
 
-def make_delete(key, seq: int) -> RecordTuple:
+def make_delete(key: Key, seq: int) -> RecordTuple:
     """Build a DELETE (tombstone) record tuple."""
     return (key, seq, DELETE, 0)
 
@@ -95,7 +100,7 @@ def encoded_size_many(recs: Sequence[RecordTuple], key_size: int) -> int:
     return total
 
 
-def sort_key(rec: RecordTuple):
+def sort_key(rec: RecordTuple) -> Tuple[Key, int]:
     """Sort key producing (key asc, seq desc) order."""
     return (rec[KEY], -rec[SEQ])
 

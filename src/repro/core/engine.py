@@ -14,11 +14,23 @@ mutation happens when a job activates (see :mod:`repro.storage.background`).
 from __future__ import annotations
 
 import abc
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
-from repro.common.records import RecordTuple
+from repro.common.records import Key, RecordTuple
 from repro.storage.background import BackgroundJob
 from repro.storage.runtime import Runtime
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.check.sanitizer import Sanitizer
 
 #: Callable returning the live snapshot sequence numbers (for merge GC).
 SnapshotProvider = Callable[[], Sequence[int]]
@@ -32,7 +44,15 @@ class EngineBase(abc.ABC):
     def __init__(self, runtime: Runtime) -> None:
         self.runtime = runtime
         self.snapshots_provider: SnapshotProvider = tuple
+        #: Optional runtime sanitizer (attached by the DB wrapper when the
+        #: debug layer is enabled; see :mod:`repro.check.sanitizer`).
+        self.sanitizer: Optional["Sanitizer"] = None
         runtime.pool.set_provider(self.pick_background_job)
+
+    def _sanitize(self, event: str) -> None:
+        """Run the structural sanitizer after ``event``, when attached."""
+        if self.sanitizer is not None:
+            self.sanitizer.after_structural_event(self, event)
 
     # ------------------------------------------------------------------ write
     @property
@@ -63,15 +83,17 @@ class EngineBase(abc.ABC):
 
     # ------------------------------------------------------------------- read
     @abc.abstractmethod
-    def get(self, key, snapshot: Optional[int] = None) -> Tuple[Optional[RecordTuple], float]:
+    def get(self, key: Key, snapshot: Optional[int] = None) -> Tuple[Optional[RecordTuple], float]:
         """Newest visible on-disk version of ``key``; (record|None, latency)."""
 
     @abc.abstractmethod
-    def scan_runs(self, lo_key, hi_key) -> Tuple[List[List[RecordTuple]], float]:
+    def scan_runs(self, lo_key: Optional[Key],
+                  hi_key: Optional[Key]) -> Tuple[List[List[RecordTuple]], float]:
         """Eagerly-read sorted runs covering [lo, hi] (tests/diagnostics)."""
 
     @abc.abstractmethod
-    def scan_cursors(self, lo_key, hi_key) -> List[Iterable[RecordTuple]]:
+    def scan_cursors(self, lo_key: Optional[Key],
+                     hi_key: Optional[Key]) -> List[Iterable[RecordTuple]]:
         """Lazily-charging sorted iterators covering [lo, hi] (inclusive).
 
         One iterator per independently-seeking component (each L0 file, each

@@ -27,6 +27,7 @@ from repro.common.records import RecordTuple
 from repro.core.lsa import LsaTree
 from repro.core.node import LsaNode
 from repro.core.tuning import tune_m_k
+from repro.table.block import Sequence
 from repro.storage.runtime import Runtime
 
 
@@ -59,7 +60,7 @@ class IamTree(LsaTree):
             return True
         return child.nbytes >= self.options.node_capacity
 
-    def _after_append(self, level: int, child: LsaNode, seq) -> None:
+    def _after_append(self, level: int, child: LsaNode, seq: Sequence) -> None:
         """§5.1.3 forcible caching: pin appended sequences up to the mixed
         level so scans take at most one disk seek per level."""
         if self.options.pin_appended_sequences and level <= self.m:

@@ -23,11 +23,11 @@ child only once it is full.
 from __future__ import annotations
 
 import bisect
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.common.errors import InvariantViolation
 from repro.common.options import LsaOptions
-from repro.common.records import KEY, RecordTuple, encoded_size
+from repro.common.records import KEY, Key, RecordTuple, encoded_size
 from repro.core.engine import EngineBase
 from repro.core.node import (
     LsaNode,
@@ -41,6 +41,7 @@ from repro.core.node import (
 )
 from repro.storage.background import BackgroundJob
 from repro.storage.runtime import Runtime
+from repro.table.block import Sequence
 from repro.table.merge import merge_runs
 
 
@@ -93,6 +94,7 @@ class LsaTree(EngineBase):
         # a brand-new node and is written to disk exactly once.
         debt += self._flush_into(
             1, lambda: level_overlapping(self.levels[1], lo, hi), records)
+        self._sanitize("flush")
         return debt
 
     def _ensure_structure(self) -> float:
@@ -186,7 +188,7 @@ class LsaTree(EngineBase):
         self._after_append(level, child, seq)
         return debt
 
-    def _after_append(self, level: int, child: LsaNode, seq) -> None:
+    def _after_append(self, level: int, child: LsaNode, seq: Sequence) -> None:
         """Subclass hook: a sequence was appended to ``child`` (IAM pins)."""
 
     def _merge_internal_child(self, level: int, child: LsaNode,
@@ -207,6 +209,7 @@ class LsaTree(EngineBase):
         child.extend_range(merged[0][KEY], merged[-1][KEY])
         self.merges += 1
         self.runtime.metrics.bump("merge:internal")
+        self._sanitize("merge")
         return debt
 
     def _merge_leaf_child(self, child: LsaNode, part: List[RecordTuple]) -> float:
@@ -239,9 +242,11 @@ class LsaTree(EngineBase):
                 level_insert_sorted(lst, node)
         self.merges += 1
         self.runtime.metrics.bump("merge:leaf")
+        self._sanitize("merge")
         return debt
 
-    def _split_run(self, records: List[RecordTuple], max_bytes: int):
+    def _split_run(self, records: List[RecordTuple],
+                   max_bytes: int) -> Iterator[List[RecordTuple]]:
         key_size = self.options.key_size
         chunk: List[RecordTuple] = []
         acc = 0
@@ -370,6 +375,7 @@ class LsaTree(EngineBase):
             level_insert_sorted(lst, new_node)
         self.splits += 1
         self.runtime.metrics.bump("split")
+        self._sanitize("split")
         return debt
 
     # ---------------------------------------------------------------- combine
@@ -396,7 +402,9 @@ class LsaTree(EngineBase):
             victim = lst[chosen[1]]
         self.combines += 1
         self.runtime.metrics.bump("combine")
-        return self._flush_node(level, victim, destroy=True)
+        debt = self._flush_node(level, victim, destroy=True)
+        self._sanitize("combine")
+        return debt
 
     def _remove_and_adopt(self, level: int, node: LsaNode) -> None:
         """Remove a combined node; neighbours adopt its children evenly."""
@@ -483,7 +491,8 @@ class LsaTree(EngineBase):
         self.runtime.metrics.bump("rebalance")
 
     # ------------------------------------------------------------------- read
-    def get(self, key, snapshot: Optional[int] = None) -> Tuple[Optional[RecordTuple], float]:
+    def get(self, key: Key,
+            snapshot: Optional[int] = None) -> Tuple[Optional[RecordTuple], float]:
         latency = 0.0
         for level in range(1, self.n + 1):
             node = level_find_node(self.levels[level], key)
@@ -495,7 +504,8 @@ class LsaTree(EngineBase):
                 return rec, latency
         return None, latency
 
-    def scan_runs(self, lo_key, hi_key) -> Tuple[List[List[RecordTuple]], float]:
+    def scan_runs(self, lo_key: Optional[Key],
+                  hi_key: Optional[Key]) -> Tuple[List[List[RecordTuple]], float]:
         runs: List[List[RecordTuple]] = []
         latency = 0.0
         for level in range(1, self.n + 1):
@@ -507,7 +517,8 @@ class LsaTree(EngineBase):
                 runs.extend(node_runs)
         return runs, latency
 
-    def scan_cursors(self, lo_key, hi_key) -> List:
+    def scan_cursors(self, lo_key: Optional[Key],
+                     hi_key: Optional[Key]) -> List[Iterator[RecordTuple]]:
         cursors = []
         for level in range(1, self.n + 1):
             nodes = [nd for nd in level_overlapping(self.levels[level], lo_key, hi_key)
@@ -517,7 +528,8 @@ class LsaTree(EngineBase):
         return cursors
 
     @staticmethod
-    def _level_cursor(nodes: List[LsaNode], lo_key, hi_key):
+    def _level_cursor(nodes: List[LsaNode], lo_key: Optional[Key],
+                      hi_key: Optional[Key]) -> Iterator[RecordTuple]:
         for node in nodes:
             yield from node.table.cursor(lo_key, hi_key)
 

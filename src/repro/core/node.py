@@ -19,7 +19,7 @@ import bisect
 from typing import List, Optional, Tuple
 
 from repro.common.errors import InvariantViolation
-from repro.common.records import KEY, RecordTuple
+from repro.common.records import KEY, Key, RecordTuple
 from repro.storage.runtime import Runtime
 from repro.table.mstable import MSTable
 
@@ -29,7 +29,8 @@ class LsaNode:
 
     __slots__ = ("range_lo", "range_hi", "table")
 
-    def __init__(self, range_lo, range_hi, table: Optional[MSTable] = None) -> None:
+    def __init__(self, range_lo: Key, range_hi: Key,
+                 table: Optional[MSTable] = None) -> None:
         if range_hi < range_lo:
             raise InvariantViolation(f"bad node range [{range_lo!r}, {range_hi!r}]")
         self.range_lo = range_lo
@@ -50,21 +51,21 @@ class LsaNode:
         return 0 if self.table is None else self.table.n_sequences
 
     @property
-    def data_min_key(self):
+    def data_min_key(self) -> Optional[Key]:
         return None if self.is_empty else self.table.min_key
 
     @property
-    def data_max_key(self):
+    def data_max_key(self) -> Optional[Key]:
         return None if self.is_empty else self.table.max_key
 
-    def covers(self, key) -> bool:
+    def covers(self, key: Key) -> bool:
         return self.range_lo <= key <= self.range_hi
 
-    def overlaps(self, lo, hi) -> bool:
+    def overlaps(self, lo: Key, hi: Key) -> bool:
         return not (self.range_hi < lo or self.range_lo > hi)
 
     # ----------------------------------------------------------------- ranges
-    def extend_range(self, lo, hi) -> None:
+    def extend_range(self, lo: Key, hi: Key) -> None:
         """Widen the range to cover appended records (paper §4.2.1)."""
         if lo < self.range_lo:
             self.range_lo = lo
@@ -98,7 +99,7 @@ class LsaNode:
 
 
 # --------------------------------------------------------------------- levels
-def level_find_node(level: List[LsaNode], key) -> Optional[LsaNode]:
+def level_find_node(level: List[LsaNode], key: Key) -> Optional[LsaNode]:
     """The unique node whose range covers ``key``, if any."""
     idx = bisect.bisect_right(level, key, key=lambda n: n.range_lo) - 1
     if idx >= 0 and level[idx].range_hi >= key:
@@ -118,7 +119,8 @@ def level_insert_sorted(level: List[LsaNode], node: LsaNode) -> None:
     level.insert(idx, node)
 
 
-def level_overlapping(level: List[LsaNode], lo, hi) -> List[LsaNode]:
+def level_overlapping(level: List[LsaNode], lo: Optional[Key],
+                      hi: Optional[Key]) -> List[LsaNode]:
     """Nodes whose ranges intersect [lo, hi] (inclusive; None bounds open)."""
     if not level:
         return []
@@ -208,7 +210,7 @@ def partition_records(records: List[RecordTuple], children: List[LsaNode],
     return parts
 
 
-def _closer_to_left(key, left_hi, right_lo) -> bool:
+def _closer_to_left(key: Key, left_hi: Key, right_lo: Key) -> bool:
     try:
         return (key - left_hi) <= (right_lo - key)
     except TypeError:

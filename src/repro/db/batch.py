@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, List, Tuple
 
 from repro.common.errors import ReproError
-from repro.common.records import Value
+from repro.common.records import Key, Value
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.db.iamdb import IamDB
@@ -38,12 +38,12 @@ class WriteBatch:
         self._ops: List[Tuple[str, object, Value]] = []
         self._committed = False
 
-    def put(self, key, value: Value) -> "WriteBatch":
+    def put(self, key: Key, value: Value) -> "WriteBatch":
         self._check()
         self._ops.append((PUT_OP, key, value))
         return self
 
-    def delete(self, key) -> "WriteBatch":
+    def delete(self, key: Key) -> "WriteBatch":
         self._check()
         self._ops.append((DELETE_OP, key, 0))
         return self
@@ -71,7 +71,7 @@ class WriteBatch:
     def __enter__(self) -> "WriteBatch":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
         if exc_type is None:
             self.commit()
         else:

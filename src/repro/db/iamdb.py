@@ -21,7 +21,7 @@ one of the two stall sources the tail-latency experiments measure.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.common.errors import ConfigError, StoreClosedError
 from repro.common.options import (
@@ -33,6 +33,7 @@ from repro.common.options import (
 from repro.common.records import (
     KIND,
     DELETE,
+    Key,
     RecordTuple,
     VALUE,
     Value,
@@ -40,6 +41,7 @@ from repro.common.records import (
     make_delete,
     make_put,
 )
+from repro.core.engine import EngineBase
 from repro.core.iam import IamTree
 from repro.core.lsa import LsaTree
 from repro.db.iterator import merge_visible
@@ -52,10 +54,15 @@ from repro.storage.manifest import Manifest
 from repro.storage.runtime import Runtime
 from repro.storage.wal import WriteAheadLog
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.check.sanitizer import Sanitizer, SanitizerOptions
+    from repro.db.batch import WriteBatch
+
 SnapshotLike = Union[None, int, Snapshot]
 
 
-def _engine_factory(name: str, engine_options, runtime: Runtime):
+def _engine_factory(name: str, engine_options: Any,
+                    runtime: Runtime) -> EngineBase:
     if name == "iam":
         return IamTree(engine_options or IamOptions(), runtime)
     if name == "lsa":
@@ -91,8 +98,9 @@ class IamDB:
     """Key-value store over a simulated storage stack."""
 
     def __init__(self, engine: str = "iam", *,
-                 engine_options=None,
-                 storage_options: Optional[StorageOptions] = None) -> None:
+                 engine_options: Any = None,
+                 storage_options: Optional[StorageOptions] = None,
+                 sanitizer_options: Optional["SanitizerOptions"] = None) -> None:
         self.metrics = MetricsRegistry()
         threads = getattr(engine_options, "background_threads", None)
         if threads is None:
@@ -110,9 +118,17 @@ class IamDB:
         self._seq = 0
         self._snapshots: Dict[int, int] = {}
         self._closed = False
+        self.sanitizer: Optional["Sanitizer"] = None
+        if sanitizer_options is None:
+            from repro.check.sanitizer import default_options
+            sanitizer_options = default_options()
+        if sanitizer_options is not None:
+            from repro.check.sanitizer import Sanitizer
+            self.sanitizer = Sanitizer(self, sanitizer_options)
+            self.engine.sanitizer = self.sanitizer
 
     @classmethod
-    def create(cls, engine: str = "iam", **kw) -> "IamDB":
+    def create(cls, engine: str = "iam", **kw: Any) -> "IamDB":
         """Convenience constructor: ``IamDB.create("lsa", ...)``."""
         return cls(engine, **kw)
 
@@ -132,25 +148,25 @@ class IamDB:
         return self.runtime.clock.now
 
     # ----------------------------------------------------------------- writes
-    def put(self, key, value: Value) -> None:
+    def put(self, key: Key, value: Value) -> None:
         """Insert/overwrite ``key``.  ``value``: bytes, or int = synthetic size."""
         self._check_open()
         self._seq += 1
         self._write(make_put(key, self._seq, value))
 
-    def delete(self, key) -> None:
+    def delete(self, key: Key) -> None:
         """Delete ``key`` (writes a tombstone; space reclaimed by merges)."""
         self._check_open()
         self._seq += 1
         self._write(make_delete(key, self._seq))
 
-    def write_batch(self):
+    def write_batch(self) -> "WriteBatch":
         """An atomic :class:`~repro.db.batch.WriteBatch` bound to this DB."""
         self._check_open()
         from repro.db.batch import WriteBatch
         return WriteBatch(self)
 
-    def _apply_batch(self, ops) -> None:
+    def _apply_batch(self, ops: List[Tuple[str, Key, Value]]) -> None:
         """Commit a WriteBatch: consecutive seqs, one WAL run, all-or-nothing."""
         from repro.db.batch import PUT_OP
         self._check_open()
@@ -173,7 +189,9 @@ class IamDB:
         runtime.pump()
         self.metrics.record_latency("insert", runtime.clock.now - t0)
 
-    def iterate(self, lo_key=None, hi_key=None, *, snapshot: SnapshotLike = None):
+    def iterate(self, lo_key: Optional[Key] = None,
+                hi_key: Optional[Key] = None, *,
+                snapshot: SnapshotLike = None) -> Iterator[Tuple[Key, object]]:
         """Lazy ordered iterator over ``(key, value)`` pairs, lo <= key < hi.
 
         Unlike :meth:`scan`, results stream as they are consumed -- I/O is
@@ -202,7 +220,13 @@ class IamDB:
         runtime.pump()
         self.metrics.record_latency("insert", runtime.clock.now - t0)
 
+    def _sanitize_db(self, event: str) -> None:
+        """Run the DB-level sanitizer checks at a quiescent point."""
+        if self.sanitizer is not None:
+            self.sanitizer.check_db(event)
+
     def _rotate_memtable(self) -> None:
+        self._sanitize_db("rotation")
         if self._imm_job is not None and not self._imm_job.done:
             # The previous flush is still in flight: the write stalls (§6.2).
             self.runtime.stall_on(self._imm_job, "memtable-rotation")
@@ -244,6 +268,7 @@ class IamDB:
             self._rotate_memtable()
         if self._imm_job is not None and not self._imm_job.done:
             self.runtime.stall_on(self._imm_job, "explicit-flush")
+        self._sanitize_db("flush-end")
         return self.runtime.clock.now - t0
 
     def quiesce(self) -> float:
@@ -260,7 +285,7 @@ class IamDB:
             return snapshot.seq
         return int(snapshot)
 
-    def get(self, key, snapshot: SnapshotLike = None):
+    def get(self, key: Key, snapshot: SnapshotLike = None) -> Optional[Value]:
         """Newest visible value of ``key``, or None."""
         self._check_open()
         runtime = self.runtime
@@ -277,8 +302,9 @@ class IamDB:
             return None
         return rec[VALUE]
 
-    def scan(self, lo_key=None, hi_key=None, *, limit: Optional[int] = None,
-             snapshot: SnapshotLike = None) -> List[Tuple[object, object]]:
+    def scan(self, lo_key: Optional[Key] = None,
+             hi_key: Optional[Key] = None, *, limit: Optional[int] = None,
+             snapshot: SnapshotLike = None) -> List[Tuple[Key, object]]:
         """Ordered ``(key, value)`` pairs with lo <= key < hi (both optional)."""
         self._check_open()
         runtime = self.runtime
@@ -343,6 +369,7 @@ class IamDB:
                 max_seq = rec[1]
         self._seq = max(self._seq, max_seq)
         self.metrics.bump("recovery")
+        self._sanitize_db("recovery-end")
 
     # ------------------------------------------------------------- inspection
     def write_amplification(self, *, include_wal: bool = False) -> float:

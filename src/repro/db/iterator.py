@@ -13,12 +13,21 @@ from __future__ import annotations
 import heapq
 from typing import Iterable, Iterator, List, Optional, Tuple
 
-from repro.common.records import DELETE, KEY, KIND, RecordTuple, SEQ, VALUE, sort_key
+from repro.common.records import (
+    DELETE,
+    KEY,
+    KIND,
+    Key,
+    RecordTuple,
+    SEQ,
+    VALUE,
+    sort_key,
+)
 
 
 def merge_visible(streams: List[Iterable[RecordTuple]], *,
                   snapshot: Optional[int] = None,
-                  hi_key=None,
+                  hi_key: Optional[Key] = None,
                   limit: Optional[int] = None) -> Iterator[Tuple[object, object]]:
     """Yield ``(key, value)`` pairs visible at ``snapshot``.
 

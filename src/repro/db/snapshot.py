@@ -36,7 +36,7 @@ class Snapshot:
     def __enter__(self) -> "Snapshot":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.release()
 
     def __int__(self) -> int:

@@ -28,8 +28,14 @@ from __future__ import annotations
 import bisect
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
-from repro.common.errors import InvariantViolation
-from repro.common.records import PUT, RECORD_OVERHEAD, RecordTuple, encoded_size
+from repro.check.diagnostics import invariant_error
+from repro.common.records import (
+    Key,
+    PUT,
+    RECORD_OVERHEAD,
+    RecordTuple,
+    encoded_size,
+)
 
 #: Version entry stored per key: (seq, kind, vsize).
 Version = Tuple[int, int, int]
@@ -67,9 +73,10 @@ class Memtable:
             self._versions[key] = [(seq, kind, vsize)]
         else:
             if versions[-1][0] >= seq:
-                raise InvariantViolation(
-                    f"memtable sequence numbers must increase per key (key={key!r})"
-                )
+                raise invariant_error(
+                    "memtable-seq-order",
+                    "memtable sequence numbers must increase per key",
+                    key=key, last_seq=versions[-1][0], seq=seq)
             versions.append((seq, kind, vsize))
         self.nbytes += encoded_size(rec, self.key_size)
         self.n_records += 1
@@ -107,9 +114,10 @@ class Memtable:
                     if lo is not None:
                         self.min_seq = lo
                         self.max_seq = hi
-                    raise InvariantViolation(
-                        f"memtable sequence numbers must increase per key (key={key!r})"
-                    )
+                    raise invariant_error(
+                        "memtable-seq-order",
+                        "memtable sequence numbers must increase per key",
+                        key=key, last_seq=versions[-1][0], seq=seq)
                 versions.append((seq, kind, value))
             nbytes += fixed + (value if type(value) is int else len(value))
             n += 1
@@ -122,7 +130,8 @@ class Memtable:
         self.min_seq = lo
         self.max_seq = hi
 
-    def get(self, key, snapshot: Optional[int] = None) -> Optional[RecordTuple]:
+    def get(self, key: Key,
+            snapshot: Optional[int] = None) -> Optional[RecordTuple]:
         """Newest version of ``key`` visible at ``snapshot`` (None = latest)."""
         versions = self._versions.get(key)
         if versions is None:
@@ -148,7 +157,8 @@ class Memtable:
             self._delta_keys = []
         return keys
 
-    def iter_range(self, lo=None, hi=None) -> Iterator[RecordTuple]:
+    def iter_range(self, lo: Optional[Key] = None,
+                   hi: Optional[Key] = None) -> Iterator[RecordTuple]:
         """Yield records with ``lo <= key < hi`` in (key asc, seq desc) order.
 
         ``None`` bounds are open.  All versions are yielded; scan-level

@@ -14,7 +14,7 @@ instance, and centralizes the charging conventions:
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Tuple
+from typing import Callable, Iterable, List, Optional, Tuple
 
 from repro.common.options import StorageOptions
 from repro.metrics import MetricsRegistry
@@ -50,8 +50,9 @@ class Runtime:
     def pump(self) -> None:
         self.pool.pump()
 
-    def submit_job(self, name: str, start_fn, *, high_priority: bool = False,
-                   on_complete=None) -> BackgroundJob:
+    def submit_job(self, name: str, start_fn: Callable[[], float], *,
+                   high_priority: bool = False,
+                   on_complete: Optional[Callable[[], None]] = None) -> BackgroundJob:
         return self.pool.submit(name, start_fn, high_priority=high_priority,
                                 on_complete=on_complete)
 

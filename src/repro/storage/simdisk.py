@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from repro.common.errors import InvariantViolation
+from repro.check.diagnostics import invariant_error
 from repro.common.options import DeviceProfile
 
 
@@ -35,7 +35,8 @@ class SimClock:
 
     def advance(self, dt: float) -> None:
         if dt < 0:
-            raise InvariantViolation(f"clock cannot go backwards (dt={dt})")
+            raise invariant_error("clock-monotonic",
+                                  "clock cannot go backwards", dt=dt)
         self.now += dt
 
 
@@ -53,9 +54,11 @@ class SimFile:
     def grow(self, nbytes: int) -> None:
         """Add live bytes to the file (space accounting only)."""
         if self.deleted:
-            raise InvariantViolation(f"grow on deleted file {self.file_id}")
+            raise invariant_error("file-lifecycle", "grow on a deleted file",
+                                  file=self.file_id, nbytes=nbytes)
         if nbytes < 0:
-            raise InvariantViolation("file growth must be >= 0")
+            raise invariant_error("file-lifecycle", "file growth must be >= 0",
+                                  file=self.file_id, nbytes=nbytes)
         self.nbytes += nbytes
         self._disk.live_bytes += nbytes
 
@@ -184,7 +187,9 @@ class SimDisk:
         Returns the elapsed simulated time experienced by the stalled caller.
         """
         if service_s < 0:
-            raise InvariantViolation("sync_drain needs service_s >= 0")
+            raise invariant_error("device-time",
+                                  "sync_drain needs service_s >= 0",
+                                  service_s=service_s)
         start = max(self.clock.now, self.busy_until)
         end = start + service_s
         self.busy_until = end

@@ -12,10 +12,10 @@ from __future__ import annotations
 
 import bisect
 from operator import itemgetter
-from typing import List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from repro.common.errors import InvariantViolation
-from repro.common.records import KEY, RECORD_OVERHEAD, RecordTuple, SEQ
+from repro.common.records import KEY, Key, RECORD_OVERHEAD, RecordTuple, SEQ
 from repro.filters.bloom import BloomFilter
 from repro.storage.runtime import Runtime
 
@@ -88,7 +88,8 @@ class Sequence:
         return len(self.records)
 
     # ------------------------------------------------------------- block math
-    def _record_span(self, lo_key, hi_key) -> Tuple[int, int]:
+    def _record_span(self, lo_key: Optional[Key],
+                     hi_key: Optional[Key]) -> Tuple[int, int]:
         """Record index range [i, j) with lo_key <= key <= hi_key (inclusive)."""
         recs = self.records
         i = 0 if lo_key is None else bisect.bisect_left(recs, lo_key, key=_key_of)
@@ -109,7 +110,7 @@ class Sequence:
         return range(self.first_block, self.first_block + self.n_blocks)
 
     # ------------------------------------------------------------------ reads
-    def get(self, runtime: Runtime, file_id: int, key,
+    def get(self, runtime: Runtime, file_id: int, key: Key,
             snapshot: Optional[int] = None) -> Tuple[Optional[RecordTuple], float]:
         """Newest visible version of ``key``; returns (record|None, latency).
 
@@ -137,8 +138,8 @@ class Sequence:
                 return recs[idx], latency
         return None, latency
 
-    def read_range(self, runtime: Runtime, file_id: int, lo_key, hi_key,
-                   ) -> Tuple[List[RecordTuple], float]:
+    def read_range(self, runtime: Runtime, file_id: int, lo_key: Optional[Key],
+                   hi_key: Optional[Key]) -> Tuple[List[RecordTuple], float]:
         """Records with lo <= key <= hi (inclusive bounds, None = open).
 
         Charges the covering block reads; returns (records, latency).
@@ -153,8 +154,9 @@ class Sequence:
         latency = runtime.fg_read_blocks(file_id, self.block_numbers())
         return self.records, latency
 
-    def cursor(self, runtime: Runtime, file_id: int, lo_key=None, hi_key=None,
-               readahead_blocks: int = 8):
+    def cursor(self, runtime: Runtime, file_id: int, lo_key: Optional[Key] = None,
+               hi_key: Optional[Key] = None,
+               readahead_blocks: int = 8) -> Iterator[RecordTuple]:
         """Lazily-charging forward iterator over [lo, hi] (inclusive).
 
         Blocks are charged as the cursor reaches them, ``readahead_blocks``

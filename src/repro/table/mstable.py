@@ -14,10 +14,10 @@ stop at the first visible hit (§5.2).
 from __future__ import annotations
 
 import heapq
-from typing import List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from repro.common.errors import InvariantViolation
-from repro.common.records import RecordTuple, sort_key
+from repro.common.records import Key, RecordTuple, sort_key
 from repro.storage.runtime import Runtime
 from repro.table.block import Sequence
 
@@ -59,11 +59,11 @@ class MSTable:
         return sum(len(s) for s in self.sequences)
 
     @property
-    def min_key(self):
+    def min_key(self) -> Key:
         return min(s.min_key for s in self.sequences)
 
     @property
-    def max_key(self):
+    def max_key(self) -> Key:
         return max(s.max_key for s in self.sequences)
 
     @property
@@ -116,7 +116,8 @@ class MSTable:
             self.runtime.delete_file(self.file)
 
     # ---------------------------------------------------------------- reading
-    def get(self, key, snapshot: Optional[int] = None) -> Tuple[Optional[RecordTuple], float]:
+    def get(self, key: Key,
+            snapshot: Optional[int] = None) -> Tuple[Optional[RecordTuple], float]:
         """Newest visible version across sequences; (record|None, latency)."""
         latency = 0.0
         for seq in reversed(self.sequences):
@@ -128,7 +129,8 @@ class MSTable:
                 return rec, latency
         return None, latency
 
-    def read_range(self, lo_key, hi_key) -> Tuple[List[List[RecordTuple]], float]:
+    def read_range(self, lo_key: Optional[Key],
+                   hi_key: Optional[Key]) -> Tuple[List[List[RecordTuple]], float]:
         """Range slice of every sequence (newest first); charges block reads."""
         out: List[List[RecordTuple]] = []
         latency = 0.0
@@ -149,7 +151,8 @@ class MSTable:
             out.append(recs)
         return out, latency
 
-    def cursor(self, lo_key=None, hi_key=None):
+    def cursor(self, lo_key: Optional[Key] = None,
+               hi_key: Optional[Key] = None) -> Iterator[RecordTuple]:
         """Merged lazily-charging iterator over the whole node's range slice.
 
         Opens one cursor per sequence (each seeks independently -- the
