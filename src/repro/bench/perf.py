@@ -226,8 +226,15 @@ def bench_workloads(quick: bool = False) -> Dict[str, Dict[str, float]]:
 
 # --------------------------------------------------------------- end to end
 def bench_end_to_end(quick: bool = False, *, config: str = "I-1t",
-                     records: Optional[int] = None) -> Dict[str, Dict[str, float]]:
-    """Wall-clock of one scaled hash load (the exp_fig6-style inner loop)."""
+                     records: Optional[int] = None,
+                     trace_path: Optional[str] = None) -> Dict[str, Dict[str, float]]:
+    """Wall-clock of one scaled hash load (the exp_fig6-style inner loop).
+
+    ``trace_path`` additionally runs the sim-time tracer on the load and
+    writes a Chrome trace there -- tracing is observation-only, but note the
+    wall-clock then includes the tracer's (small) bookkeeping overhead, so
+    traced numbers are not comparable to the committed baseline.
+    """
     from repro.bench.scale import SSD_100G, make_db
     from repro.workloads.dbbench import hash_load
 
@@ -235,6 +242,10 @@ def bench_end_to_end(quick: bool = False, *, config: str = "I-1t",
     if quick:
         n = max(1000, n // 4)
     db = make_db(config, SSD_100G)
+    session = None
+    if trace_path is not None:
+        from repro.obs import attach_trace
+        session = attach_trace(db)
     t0 = time.perf_counter()  # repro: noqa-REP001 (host benchmark timer)
     rep = hash_load(db, n, quiesce=False)
     seconds = time.perf_counter() - t0  # repro: noqa-REP001 (host benchmark timer)
@@ -242,6 +253,10 @@ def bench_end_to_end(quick: bool = False, *, config: str = "I-1t",
     entry.update({"config": config, "setup": "SSD-100G",
                   "write_amplification": round(rep.write_amplification, 6),
                   "sim_seconds": round(rep.sim_seconds, 6)})
+    if session is not None and trace_path is not None:
+        session.finish()
+        session.write_chrome(trace_path)
+        entry["traced"] = 1.0
     db.close()
     return {"end_to_end_hash_load": entry}
 
@@ -271,12 +286,16 @@ _SPEEDUP_PAIRS = (
 
 
 def run_suite(which: Optional[Sequence[str]] = None, *,
-              quick: bool = False) -> Dict[str, object]:
+              quick: bool = False,
+              trace_path: Optional[str] = None) -> Dict[str, object]:
     """Run the selected suites; returns the full BENCH_perf report dict."""
     names = list(which) if which else list(SUITES)
     kernels: Dict[str, Dict[str, float]] = {}
     for name in names:
-        kernels.update(SUITES[name](quick))
+        if name == "end_to_end" and trace_path is not None:
+            kernels.update(bench_end_to_end(quick, trace_path=trace_path))
+        else:
+            kernels.update(SUITES[name](quick))
 
     speedups: Dict[str, float] = {}
     for label, new, ref in _SPEEDUP_PAIRS:
@@ -375,12 +394,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                    help=f"baseline path (default ./{BENCH_PERF_FILENAME})")
     p.add_argument("--profile", action="store_true",
                    help="cProfile the suite and print the top entries")
+    p.add_argument("--trace", metavar="PATH", default=None,
+                   help="trace the end-to-end load; write a Chrome trace "
+                        "(adds tracer overhead -- don't combine with --update)")
     args = p.parse_args(argv)
 
     from repro.bench.harness import maybe_profile
 
     with maybe_profile(args.profile):
-        report = run_suite(args.suite, quick=args.quick)
+        report = run_suite(args.suite, quick=args.quick,
+                           trace_path=args.trace)
+    if args.trace:
+        print(f"wrote Chrome trace of the end-to-end load to {args.trace}")
     print(format_report(report))
     path = args.out if args.out is not None else Path(BENCH_PERF_FILENAME)
     rc = 0

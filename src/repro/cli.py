@@ -6,6 +6,7 @@ Commands
 ``load``         hash-load records into an engine and report WA/throughput
 ``fillseq``      sequential load
 ``ycsb``         run a YCSB workload (A-G) on a freshly loaded store
+``trace``        run a workload with sim-time tracing; export + summarize
 ``compare``      run one load across several engines side by side
 ``experiment``   regenerate a paper table/figure via the bench harness
 ``perf``         run the hot-path microbenchmarks (BENCH_perf.json)
@@ -14,7 +15,10 @@ Commands
 
 ``load``, ``ycsb`` and ``experiment`` accept ``--sanitize``: every DB built
 for the run gets the runtime sanitizer attached (observation-only; identical
-results, fails fast on a structural invariant violation).
+results, fails fast on a structural invariant violation).  ``load`` and
+``ycsb`` also accept ``--trace PATH``: the run is traced (observation-only)
+and the trace written to PATH -- Chrome trace-event JSON by default, JSONL
+when PATH ends in ``.jsonl``.
 
 Examples
 --------
@@ -23,6 +27,7 @@ Examples
 
     python -m repro load --engine iam --records 50000 --device hdd
     python -m repro ycsb --workload E --engine lsa --ops 2000
+    python -m repro trace ycsb-a --engine leveldb --records 20000
     python -m repro compare --records 30000 --engines L R-1t A-1t I-1t
     python -m repro experiment table3
     python -m repro check --list-rules
@@ -83,9 +88,28 @@ def _apply_sanitize(args) -> None:
         set_default_options(SanitizerOptions())
 
 
+def _maybe_trace(args, db):
+    """Attach a trace session when ``--trace PATH`` was given."""
+    if not getattr(args, "trace", None):
+        return None
+    from repro.obs import attach_trace
+    return attach_trace(db)
+
+
+def _finish_trace(session, path: str) -> None:
+    """Write the finished session to ``path`` (JSONL iff ``.jsonl``)."""
+    session.finish()
+    if path.endswith(".jsonl"):
+        session.write_jsonl(path)
+    else:
+        session.write_chrome(path)
+    print(f"\nwrote trace to {path}")
+
+
 def cmd_load(args) -> int:
     _apply_sanitize(args)
     db = _build_db(args.engine, args.device, args.memory_mb, args.threads)
+    session = _maybe_trace(args, db)
     fn = fill_seq if args.sequential else hash_load
     rep = fn(db, args.records, quiesce=args.quiesce)
     print(format_table(
@@ -94,6 +118,8 @@ def cmd_load(args) -> int:
         title=f"{'fillseq' if args.sequential else 'hash load'} of "
               f"{args.records} records ({args.device})"))
     print("\nstructure:", db.engine.describe())
+    if session is not None:
+        _finish_trace(session, args.trace)
     db.close()
     return 0
 
@@ -102,6 +128,7 @@ def cmd_ycsb(args) -> int:
     _apply_sanitize(args)
     spec = YCSB_WORKLOADS[args.workload.upper()]
     db = _build_db(args.engine, args.device, args.memory_mb, args.threads)
+    session = _maybe_trace(args, db)
     hash_load(db, args.records, quiesce=False)
     rep = run_ycsb(db, spec, args.ops, args.records)
     print(f"YCSB-{spec.name} on {args.engine} ({args.device}): "
@@ -111,8 +138,54 @@ def cmd_ycsb(args) -> int:
               f"p50={digest['p50'] * 1e6:9.1f}us "
               f"p99={digest['p99'] * 1e6:9.1f}us "
               f"max={digest['max'] * 1e3:9.2f}ms")
+    if session is not None:
+        _finish_trace(session, args.trace)
     db.close()
     return 0
+
+
+TRACE_WORKLOADS = ("load", "fillseq") + tuple(f"ycsb-{c}" for c in "abcdefg")
+
+
+def cmd_trace(args) -> int:
+    from repro.obs import TraceConfig, attach_trace, validate_chrome_trace
+    _apply_sanitize(args)
+    db = _build_db(args.engine, args.device, args.memory_mb, args.threads)
+    config = TraceConfig() if args.interval is None else TraceConfig(
+        sample_interval_s=args.interval)
+    session = attach_trace(db, config)
+    workload = args.workload.lower()
+    if workload == "fillseq":
+        fill_seq(db, args.records, quiesce=False)
+    elif workload == "load":
+        hash_load(db, args.records, quiesce=False)
+    else:
+        spec = YCSB_WORKLOADS[workload[-1].upper()]
+        hash_load(db, args.records, quiesce=False)
+        run_ycsb(db, spec, args.ops, args.records)
+    # End-of-run barrier: in-flight jobs complete so their spans close.
+    db.quiesce()
+    session.finish()
+    rc = 0
+    if args.validate:
+        problems = validate_chrome_trace(session.to_chrome())
+        if problems:
+            for p in problems:
+                print(f"TRACE SCHEMA: {p}", file=sys.stderr)
+            rc = 1
+        else:
+            print("trace schema ok")
+    if args.out:
+        session.write_chrome(args.out)
+        print(f"wrote Chrome trace to {args.out} "
+              "(load it at https://ui.perfetto.dev)")
+    if args.jsonl:
+        session.write_jsonl(args.jsonl)
+        print(f"wrote JSONL trace to {args.jsonl}")
+    print()
+    print(session.summary())
+    db.close()
+    return rc
 
 
 def cmd_compare(args) -> int:
@@ -200,6 +273,9 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--threads", type=int, default=1)
         sp.add_argument("--sanitize", action="store_true",
                         help="attach the runtime sanitizer to every DB")
+        sp.add_argument("--trace", metavar="PATH", default=None,
+                        help="trace the run; write Chrome trace JSON "
+                             "(or JSONL when PATH ends in .jsonl)")
 
     sp = sub.add_parser("load", help="hash-load records, report amplifications")
     common(sp)
@@ -213,6 +289,29 @@ def build_parser() -> argparse.ArgumentParser:
                     default="A")
     sp.add_argument("--ops", type=int, default=3000)
     sp.set_defaults(fn=cmd_ycsb)
+
+    sp = sub.add_parser(
+        "trace", help="run a workload under the sim-time tracer")
+    sp.add_argument("workload", choices=TRACE_WORKLOADS)
+    sp.add_argument("--engine", choices=ENGINES, default="iam")
+    sp.add_argument("--device", choices=("ssd", "hdd"), default="ssd")
+    sp.add_argument("--records", type=int, default=30_000)
+    sp.add_argument("--memory-mb", type=float,
+                    default=SSD_100G.memory_bytes / 1e6)
+    sp.add_argument("--threads", type=int, default=1)
+    sp.add_argument("--sanitize", action="store_true",
+                    help="attach the runtime sanitizer too")
+    sp.add_argument("--ops", type=int, default=3000,
+                    help="YCSB operation count (ycsb-* workloads)")
+    sp.add_argument("--interval", type=float, default=None,
+                    help="timeseries sample interval in sim seconds")
+    sp.add_argument("--out", metavar="PATH", default=None,
+                    help="write Chrome trace-event JSON (Perfetto-loadable)")
+    sp.add_argument("--jsonl", metavar="PATH", default=None,
+                    help="write the trace as JSON lines")
+    sp.add_argument("--validate", action="store_true",
+                    help="schema-check the Chrome trace; nonzero exit on error")
+    sp.set_defaults(fn=cmd_trace)
 
     sp = sub.add_parser("compare", help="one load across engine configs")
     sp.add_argument("--engines", nargs="+",

@@ -54,6 +54,17 @@ class EngineBase(abc.ABC):
         if self.sanitizer is not None:
             self.sanitizer.after_structural_event(self, event)
 
+    def _trace(self, cat: str, name: str, **args: object) -> None:
+        """Emit a structural trace instant when tracing is enabled.
+
+        Hot call sites should guard on ``self.runtime.tracer.enabled`` before
+        building kwargs; this helper re-checks so cold sites can call it
+        unconditionally.
+        """
+        tracer = self.runtime.tracer
+        if tracer.enabled:
+            tracer.instant(cat, name, **args)
+
     # ------------------------------------------------------------------ write
     @property
     @abc.abstractmethod

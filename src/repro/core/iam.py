@@ -60,6 +60,15 @@ class IamTree(LsaTree):
             return True
         return child.nbytes >= self.options.node_capacity
 
+    def _merge_internal_child(self, level: int, child: LsaNode,
+                              part: List[RecordTuple]) -> float:
+        # Tag the mixed level's k-bound merges (§5.1.2): the child reached
+        # its k-th sequence and collapses back to one.
+        if level == self.m and self.runtime.tracer.enabled:
+            self._trace("compaction", "merge:mixed", level=level, k=self.k,
+                        seqs=child.n_sequences)
+        return super()._merge_internal_child(level, child, part)
+
     def _after_append(self, level: int, child: LsaNode, seq: Sequence) -> None:
         """§5.1.3 forcible caching: pin appended sequences up to the mixed
         level so scans take at most one disk seek per level."""
@@ -87,6 +96,8 @@ class IamTree(LsaTree):
             k = opts.fixed_k
         if (m, k) != (self.m, self.k):
             self.runtime.metrics.bump("retune")
+            self._trace("tuning", "retune", m=m, k=k,
+                        prev_m=self.m, prev_k=self.k)
         self.m, self.k = m, k
 
     def _ingest(self, records: List[RecordTuple]) -> float:

@@ -89,6 +89,8 @@ class LsaTree(EngineBase):
         debt = self._ensure_structure()
         self.flushes += 1
         lo, hi = records[0][KEY], records[-1][KEY]
+        if self.runtime.tracer.enabled:
+            self._trace("flush", "flush", records=len(records))
         # The L0 node's children are the L1 nodes overlapping the run's span
         # (§4.1); with no children (sequential writes) the run moves down as
         # a brand-new node and is written to disk exactly once.
@@ -105,6 +107,7 @@ class LsaTree(EngineBase):
             self.n += 1
             self.levels.append([])
             self.runtime.metrics.bump("deepen")
+            self._trace("structure", "deepen", n_levels=self.n)
             self._on_deepen()
         for i in range(1, self.n):
             guard = 0
@@ -185,6 +188,9 @@ class LsaTree(EngineBase):
         child.extend_range(part[0][KEY], part[-1][KEY])
         self.appends += 1
         self.runtime.metrics.bump("append")
+        if self.runtime.tracer.enabled:
+            self._trace("compaction", "append", level=level,
+                        seqs=child.n_sequences, records=len(part))
         self._after_append(level, child, seq)
         return debt
 
@@ -209,6 +215,9 @@ class LsaTree(EngineBase):
         child.extend_range(merged[0][KEY], merged[-1][KEY])
         self.merges += 1
         self.runtime.metrics.bump("merge:internal")
+        if self.runtime.tracer.enabled:
+            self._trace("compaction", "merge:internal", level=level,
+                        runs=len(runs), records=len(merged))
         self._sanitize("merge")
         return debt
 
@@ -242,6 +251,9 @@ class LsaTree(EngineBase):
                 level_insert_sorted(lst, node)
         self.merges += 1
         self.runtime.metrics.bump("merge:leaf")
+        if self.runtime.tracer.enabled:
+            self._trace("compaction", "merge:leaf", level=level,
+                        runs=len(runs), records=len(merged))
         self._sanitize("merge")
         return debt
 
@@ -304,6 +316,8 @@ class LsaTree(EngineBase):
             level_insert_sorted(kids_lst, node)
             self.move_downs += 1
             self.runtime.metrics.bump("move_down")
+            self._trace("compaction", "move-down", level=level,
+                        to_level=level + 1)
             return 0.0
 
         def kids_fn() -> List[LsaNode]:
@@ -375,6 +389,7 @@ class LsaTree(EngineBase):
             level_insert_sorted(lst, new_node)
         self.splits += 1
         self.runtime.metrics.bump("split")
+        self._trace("structure", "split", level=level)
         self._sanitize("split")
         return debt
 
@@ -402,6 +417,7 @@ class LsaTree(EngineBase):
             victim = lst[chosen[1]]
         self.combines += 1
         self.runtime.metrics.bump("combine")
+        self._trace("structure", "combine", level=level)
         debt = self._flush_node(level, victim, destroy=True)
         self._sanitize("combine")
         return debt

@@ -233,6 +233,9 @@ class IamDB:
         imm = self.memtable
         if len(imm) == 0:
             return
+        if self.runtime.tracer.enabled:
+            self.runtime.tracer.instant("db", "memtable-rotation",
+                                        nbytes=imm.nbytes, records=len(imm))
         self.memtable = Memtable(self.key_size)
         records = imm.sorted_records()
         flushed_through = imm.max_seq
@@ -349,7 +352,7 @@ class IamDB:
         self._check_open()
         # In-flight flush I/O completes (or is journalled) before the crash.
         if self._imm_job is not None and not self._imm_job.done:
-            self.runtime.pool.wait_for(self._imm_job)
+            self.runtime.pool.wait_for(self._imm_job, reason="crash-flush")
         self.immutable = None
         self._imm_job = None
         # Volatile state is gone.
@@ -369,6 +372,9 @@ class IamDB:
                 max_seq = rec[1]
         self._seq = max(self._seq, max_seq)
         self.metrics.bump("recovery")
+        if self.runtime.tracer.enabled:
+            self.runtime.tracer.instant("db", "recovery",
+                                        replayed=len(replayed), seq=self._seq)
         self._sanitize_db("recovery-end")
 
     # ------------------------------------------------------------- inspection
@@ -383,11 +389,16 @@ class IamDB:
 
     def stats(self) -> Dict[str, object]:
         d = self.engine.describe()
+        longest = self.metrics.longest_stall()
         d.update({
             "write_amplification": self.write_amplification(),
             "space_used_bytes": self.space_used_bytes(),
             "sim_time_s": self.runtime.clock.now,
             "memtable_bytes": self.memtable.nbytes,
+            "cache_hit_rate": self.metrics.cache_hit_rate(),
+            "total_stall_s": self.metrics.total_stall_s,
+            "longest_stall_s": longest[1] if longest is not None else 0.0,
+            "longest_stall_reason": longest[0] if longest is not None else None,
         })
         return d
 

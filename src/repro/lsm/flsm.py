@@ -97,15 +97,24 @@ class FlsmEngine(EngineBase):
             d = nbytes / (bw * opts.delayed_write_fraction) - nbytes / bw
             self.runtime.clock.advance(d)
             lat += d
+            if self.runtime.tracer.enabled:
+                self._trace("gate", "slowdown:l0", delay_s=d, l0_files=n0)
         guard = 0
+        stall_s = 0.0
         while len(self.guards[0][0].tables) >= opts.l0_stop_trigger:
             guard += 1
             if guard > 100_000:
                 raise InvariantViolation("FLSM L0 stall did not converge")
             step = self.runtime.pool.step_drain()
             lat += step
+            stall_s += step
             if step == 0.0 and not self.runtime.pool.busy:
                 break
+        if stall_s > 0.0:
+            self.runtime.metrics.add_stall("l0-stop", stall_s)
+            if self.runtime.tracer.enabled:
+                self._trace("stall", "stall", reason="l0-stop",
+                            duration_s=stall_s)
         return lat
 
     # ------------------------------------------------------------- background
@@ -220,6 +229,9 @@ class FlsmEngine(EngineBase):
         self.level_bytes[level] = 0
         self.compactions += 1
         self.runtime.metrics.bump(f"flsm-compaction:L{level}")
+        if self.runtime.tracer.enabled:
+            self._trace("compaction", f"compact:L{level}", level=level,
+                        runs=len(runs), records=len(merged))
         return debt
 
     def _merge_guard(self, level: int, g: _Guard) -> float:
@@ -249,6 +261,9 @@ class FlsmEngine(EngineBase):
         else:
             self.level_bytes[level] -= old_bytes
         self.runtime.metrics.bump("flsm-guard-merge")
+        if self.runtime.tracer.enabled:
+            self._trace("compaction", "guard-merge", level=level,
+                        runs=len(runs), records=len(merged))
         return debt
 
     # ------------------------------------------------------------------- read

@@ -67,6 +67,9 @@ class LeveledLsm(EngineBase):
             self.levels[0].append(table)
             self.level_bytes[0] += table.data_bytes
             self.flushes += 1
+            if self.runtime.tracer.enabled:
+                self._trace("flush", "flush", records=len(records),
+                            l0_files=len(self.levels[0]))
             return debt
 
         return self.runtime.submit_job("flush->L0", start, high_priority=True)
@@ -87,6 +90,8 @@ class LeveledLsm(EngineBase):
                 self.runtime.clock.advance(d)
                 lat += d
                 self.runtime.metrics.bump("slowdown:debt")
+                if self.runtime.tracer.enabled:
+                    self._trace("gate", "slowdown:debt", delay_s=d)
         # L0 slowdown: pace writes while in the slowdown band.
         n0 = len(self.levels[0])
         if opts.l0_slowdown_trigger <= n0 < opts.l0_stop_trigger:
@@ -94,18 +99,27 @@ class LeveledLsm(EngineBase):
             self.runtime.clock.advance(d)
             lat += d
             self.runtime.metrics.bump("slowdown:l0")
+            if self.runtime.tracer.enabled:
+                self._trace("gate", "slowdown:l0", delay_s=d, l0_files=n0)
         # L0 stop: hard stall until an L0 compaction brings the count down.
         guard = 0
+        stall_s = 0.0
         while len(self.levels[0]) >= opts.l0_stop_trigger:
             guard += 1
             if guard > 100_000:
                 raise InvariantViolation("L0 stop stall did not converge")
             step = self.runtime.pool.step_drain()
             lat += step
+            stall_s += step
             if step == 0.0 and not self.runtime.pool.busy:
                 break
         if guard:
             self.runtime.metrics.bump("stall:l0-stop")
+            if stall_s > 0.0:
+                self.runtime.metrics.add_stall("l0-stop", stall_s)
+                if self.runtime.tracer.enabled:
+                    self._trace("stall", "stall", reason="l0-stop",
+                                duration_s=stall_s)
         return lat
 
     def _pending_compaction_bytes(self) -> int:
@@ -211,6 +225,8 @@ class LeveledLsm(EngineBase):
             self.level_bytes[level + 1] += t.data_bytes
             self.trivial_moves += 1
             self.runtime.metrics.bump("trivial_move")
+            self._trace("compaction", "trivial-move", level=level,
+                        to_level=level + 1)
             return 0.0
 
         debt = 0.0
@@ -245,6 +261,10 @@ class LeveledLsm(EngineBase):
             t.delete()
         self.compactions += 1
         self.runtime.metrics.bump(f"compaction:L{level}")
+        if self.runtime.tracer.enabled:
+            self._trace("compaction", f"compact:L{level}", level=level,
+                        inputs_up=len(inputs_up), inputs_down=len(inputs_down),
+                        records=len(merged))
         return debt
 
     def _split_records(self, records: List[RecordTuple], max_bytes: int):

@@ -179,6 +179,7 @@ class LsmTrieEngine(EngineBase):
             debt += self._append_to_node(child, part)
         self.spills += 1
         self.runtime.metrics.bump("trie-spill")
+        self._trace("compaction", "trie-spill", depth=node.depth)
         return debt
 
     def pick_background_job(self) -> Optional[BackgroundJob]:

@@ -1,6 +1,6 @@
 """Measurement: amplification accounting and latency histograms."""
 
-from repro.metrics.amplification import MetricsRegistry
+from repro.metrics.amplification import MetricsRegistry, StallStat
 from repro.metrics.latency import LatencyRecorder, percentile
 
-__all__ = ["MetricsRegistry", "LatencyRecorder", "percentile"]
+__all__ = ["MetricsRegistry", "StallStat", "LatencyRecorder", "percentile"]

@@ -11,9 +11,26 @@
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable
+from typing import Dict, Iterable, Optional, Tuple
 
 from repro.metrics.latency import LatencyRecorder
+
+
+class StallStat:
+    """Structured record of foreground stalls sharing one reason."""
+
+    __slots__ = ("count", "total_s", "max_s")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_s = 0.0
+        self.max_s = 0.0
+
+    def record(self, duration_s: float) -> None:
+        self.count += 1
+        self.total_s += duration_s
+        if duration_s > self.max_s:
+            self.max_s = duration_s
 
 
 class MetricsRegistry:
@@ -38,6 +55,8 @@ class MetricsRegistry:
         self.events: Dict[str, int] = defaultdict(int)
         #: Latency recorder per operation type ("insert", "read", "scan"...).
         self.latency: Dict[str, LatencyRecorder] = defaultdict(LatencyRecorder)
+        #: Structured stalls by reason: count, total and longest duration.
+        self.stalls: Dict[str, StallStat] = {}
 
     # ------------------------------------------------------------------ write
     def add_user_bytes(self, nbytes: int) -> None:
@@ -63,6 +82,28 @@ class MetricsRegistry:
 
     def record_latency(self, op: str, latency_s: float) -> None:
         self.latency[op].record(latency_s)
+
+    # ----------------------------------------------------------------- stalls
+    def add_stall(self, reason: str, duration_s: float) -> None:
+        """Record one foreground stall with its reason and duration."""
+        stat = self.stalls.get(reason)
+        if stat is None:
+            stat = StallStat()
+            self.stalls[reason] = stat
+        stat.record(duration_s)
+
+    @property
+    def total_stall_s(self) -> float:
+        return sum(st.total_s for st in self.stalls.values())
+
+    def longest_stall(self) -> Optional[Tuple[str, float]]:
+        """(reason, duration) of the single longest stall, or None."""
+        best: Optional[Tuple[str, float]] = None
+        for reason in sorted(self.stalls):
+            st = self.stalls[reason]
+            if best is None or st.max_s > best[1]:
+                best = (reason, st.max_s)
+        return best
 
     # ------------------------------------------------------------ derived WA
     @property
@@ -100,6 +141,13 @@ class MetricsRegistry:
             return 0.0
         return disk_bytes / logical_bytes
 
+    def cache_hit_rate(self) -> float:
+        """Query-read cache hit fraction; 0.0 when no reads occurred."""
+        total = self.cache_hits + self.cache_misses
+        if total == 0:
+            return 0.0
+        return self.cache_hits / total
+
     def summary(self) -> Dict[str, float]:
         return {
             "user_bytes": float(self.user_bytes),
@@ -109,4 +157,36 @@ class MetricsRegistry:
             "query_seeks": float(self.query_seeks),
             "cache_hits": float(self.cache_hits),
             "cache_misses": float(self.cache_misses),
+            "cache_hit_rate": self.cache_hit_rate(),
+            "total_stall_s": self.total_stall_s,
         }
+
+    # --------------------------------------------------------------- sampling
+    def snapshot(self) -> Dict[str, object]:
+        """A copy of every counter -- delta sampling without perturbation."""
+        return {
+            "user_bytes": self.user_bytes,
+            "wal_bytes": self.wal_bytes,
+            "level_write_bytes": dict(self.level_write_bytes),
+            "compaction_read_bytes": self.compaction_read_bytes,
+            "query_seeks": self.query_seeks,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "events": dict(self.events),
+            "op_counts": {op: rec.count for op, rec in self.latency.items()},
+            "stalls": {reason: (st.count, st.total_s, st.max_s)
+                       for reason, st in self.stalls.items()},
+        }
+
+    def reset(self) -> None:
+        """Zero every counter (fresh-registry state, same object identity)."""
+        self.user_bytes = 0
+        self.wal_bytes = 0
+        self.level_write_bytes.clear()
+        self.compaction_read_bytes = 0
+        self.query_seeks = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.events.clear()
+        self.latency.clear()
+        self.stalls.clear()

@@ -1,0 +1,189 @@
+"""Deterministic trace exporters: JSONL and Chrome trace-event JSON.
+
+Both formats are rendered with ``sort_keys=True`` and compact separators so
+that two runs with the same seed and options produce **byte-identical**
+output -- the property the determinism tests pin down.
+
+* **JSONL** -- one JSON object per line: every tracer event in recording
+  order, followed by every sampler row (``"ph": "sample"``).  The analysis-
+  friendly format (``pandas.read_json(lines=True)`` or ``jq``).
+* **Chrome trace-event JSON** -- the ``{"traceEvents": [...]}`` envelope
+  understood by Perfetto (https://ui.perfetto.dev) and ``chrome://tracing``.
+  Instants map to ``ph: "i"``, background-job spans to async ``ph: "b"/"e"``
+  pairs keyed by the job id, and sampler rows become ``ph: "C"`` counter
+  tracks (throughput, pending debt, WA, cache hit rate, per-level bytes).
+
+Timestamps are simulated seconds in JSONL and simulated *microseconds* in
+the Chrome format (the unit trace viewers expect).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.sampler import TimeseriesSampler
+from repro.obs.tracer import PH_BEGIN, PH_END, PH_INSTANT, Tracer
+
+#: Phases emitted by this module / accepted by the validator.
+_VALID_PHASES = frozenset({PH_INSTANT, PH_BEGIN, PH_END, "C", "M"})
+
+
+def _dumps(obj: object) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+# ----------------------------------------------------------------------- JSONL
+def jsonl_lines(tracer: Tracer,
+                sampler: Optional[TimeseriesSampler] = None) -> List[str]:
+    """All trace events (then sampler rows) as compact JSON lines."""
+    lines: List[str] = []
+    for ts, ph, cat, name, span_id, args in tracer.events:
+        obj: Dict[str, object] = {"ts": ts, "ph": ph, "cat": cat, "name": name}
+        if span_id is not None:
+            obj["id"] = span_id
+        if args is not None:
+            obj["args"] = args
+        lines.append(_dumps(obj))
+    if sampler is not None:
+        for row in sampler.rows:
+            obj = {"ph": "sample"}
+            obj.update(row)
+            lines.append(_dumps(obj))
+    return lines
+
+
+def to_jsonl(tracer: Tracer,
+             sampler: Optional[TimeseriesSampler] = None) -> str:
+    lines = jsonl_lines(tracer, sampler)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ---------------------------------------------------------------- Chrome trace
+def _us(ts_s: float) -> float:
+    """Simulated seconds -> microseconds, rounded to a stable picosecond grid."""
+    return round(ts_s * 1e6, 6)
+
+
+def chrome_trace(tracer: Tracer,
+                 sampler: Optional[TimeseriesSampler] = None, *,
+                 pid: int = 1,
+                 process_name: str = "repro") -> Dict[str, object]:
+    """Render one DB's trace as a Chrome trace-event JSON object."""
+    events: List[Dict[str, object]] = [
+        {"ph": "M", "pid": pid, "tid": 0, "ts": 0,
+         "name": "process_name", "args": {"name": process_name}},
+        {"ph": "M", "pid": pid, "tid": 0, "ts": 0,
+         "name": "thread_name", "args": {"name": "sim"}},
+    ]
+    for ts, ph, cat, name, span_id, args in tracer.events:
+        ev: Dict[str, object] = {"ph": ph, "pid": pid, "tid": 0,
+                                 "ts": _us(ts), "cat": cat, "name": name}
+        if ph == PH_INSTANT:
+            ev["s"] = "t"
+        else:
+            ev["id"] = span_id
+        if args is not None:
+            ev["args"] = args
+        events.append(ev)
+    # Close any span whose job was still in flight when the trace was cut,
+    # so every async begin has a matching end (viewers and the validator
+    # both require balanced pairs).
+    for span_id in sorted(tracer.open_spans):
+        cat, name = tracer.open_spans[span_id]
+        events.append({"ph": PH_END, "pid": pid, "tid": 0,
+                       "ts": _us(tracer.clock.now), "cat": cat, "name": name,
+                       "id": span_id, "args": {"inflight": 1}})
+    if sampler is not None:
+        events.extend(_counter_events(sampler, pid))
+    if tracer.dropped:
+        events.append({"ph": "M", "pid": pid, "tid": 0, "ts": 0,
+                       "name": "trace_ring_dropped",
+                       "args": {"dropped": tracer.dropped}})
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _counter_events(sampler: TimeseriesSampler,
+                    pid: int) -> List[Dict[str, object]]:
+    out: List[Dict[str, object]] = []
+    for row in sampler.rows:
+        ts = _us(float(row["ts"]))  # type: ignore[arg-type]
+
+        def counter(name: str, args: Dict[str, object]) -> None:
+            out.append({"ph": "C", "pid": pid, "tid": 0, "ts": ts,
+                        "cat": "sample", "name": name, "args": args})
+
+        counter("throughput (ops/s)",
+                {"ops_per_s": row["throughput_ops_s"]})
+        counter("pending debt (s)", {"debt_s": row["pending_debt_s"]})
+        counter("write amplification", {"wa": row["write_amplification"]})
+        counter("cache hit rate", {"rate": row["cache_hit_rate"]})
+        counter("total stall (s)", {"stall_s": row["total_stall_s"]})
+        level_bytes = row["level_data_bytes"]
+        if isinstance(level_bytes, dict) and level_bytes:
+            counter("level bytes",
+                    {f"L{lvl}": n for lvl, n in sorted(level_bytes.items())})
+    return out
+
+
+def merge_chrome_traces(traces: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Combine per-DB traces (distinct pids) into one side-by-side file."""
+    events: List[object] = []
+    for t in traces:
+        events.extend(t.get("traceEvents", []))  # type: ignore[arg-type]
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+# ------------------------------------------------------------------ validation
+def validate_chrome_trace(trace: object) -> List[str]:
+    """Schema-check a Chrome trace-event object; returns problems (empty = ok).
+
+    Checks the envelope, the per-event required fields, and that every async
+    span begin has exactly one matching end (per pid/cat/name/id).
+    """
+    problems: List[str] = []
+    if not isinstance(trace, dict):
+        return ["trace is not a JSON object"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    spans: Dict[object, int] = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i} is not an object")
+            continue
+        ph = ev.get("ph")
+        name = ev.get("name")
+        if not isinstance(ph, str) or ph not in _VALID_PHASES:
+            problems.append(f"event {i} has invalid ph {ph!r}")
+            continue
+        if not isinstance(name, str) or not name:
+            problems.append(f"event {i} lacks a name")
+        if ph == "M":
+            continue
+        if not isinstance(ev.get("ts"), (int, float)):
+            problems.append(f"event {i} ({name}) lacks a numeric ts")
+        if not isinstance(ev.get("pid"), int):
+            problems.append(f"event {i} ({name}) lacks an integer pid")
+        if ph in (PH_BEGIN, PH_END):
+            if "id" not in ev:
+                problems.append(f"event {i} ({name}) is a span without an id")
+            else:
+                key = (ev.get("pid"), ev.get("cat"), name, ev["id"])
+                spans[key] = spans.get(key, 0) + (1 if ph == PH_BEGIN else -1)
+        if ph == "C":
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args:
+                problems.append(f"event {i} ({name}) counter lacks args")
+            elif not all(isinstance(v, (int, float)) for v in args.values()):
+                problems.append(f"event {i} ({name}) counter args not numeric")
+    for key, balance in spans.items():
+        if balance != 0:
+            problems.append(f"span {key} unbalanced (begin-end = {balance})")
+    return problems
+
+
+def write_json(path: str, obj: Dict[str, object]) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(_dumps(obj))
+        fh.write("\n")

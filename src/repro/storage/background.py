@@ -27,10 +27,14 @@ queued compaction, mirroring LevelDB/RocksDB flush priority.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, List, Optional
+from typing import TYPE_CHECKING, Callable, Deque, List, Optional
 
 from repro.common.errors import InvariantViolation
+from repro.obs.tracer import NULL_TRACER, NullTracer
 from repro.storage.simdisk import SimDisk
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.metrics import MetricsRegistry
 
 PENDING = 0
 ACTIVE = 1
@@ -45,16 +49,22 @@ Provider = Callable[[], Optional["BackgroundJob"]]
 class BackgroundJob:
     """A unit of background work: structural effect + device-time debt."""
 
-    __slots__ = ("name", "start_fn", "debt_s", "not_before", "state", "on_complete")
+    __slots__ = ("name", "start_fn", "debt_s", "debt_total", "not_before",
+                 "state", "on_complete", "job_id")
 
     def __init__(self, name: str, start_fn: StartFn,
                  on_complete: Optional[Callable[[], None]] = None) -> None:
         self.name = name
         self.start_fn = start_fn
         self.debt_s = 0.0
+        #: Debt at activation (debt_s counts down as the pool drains it).
+        self.debt_total = 0.0
         self.not_before = 0.0
         self.state = PENDING
         self.on_complete = on_complete
+        #: Deterministic id assigned at submission (0 = never pooled);
+        #: keys the tracer's begin/end span pair.
+        self.job_id = 0
 
     @property
     def done(self) -> bool:
@@ -76,6 +86,11 @@ class BackgroundPool:
         #: How far past "now" background work may fill the device channel
         #: (one in-flight I/O burst); set by Runtime from the chunk size.
         self.lookahead_s = 0.0
+        #: Trace sink (NULL_TRACER = disabled); swapped by Runtime.attach_tracer.
+        self.tracer: NullTracer = NULL_TRACER
+        #: Structured-stall recorder; wired by Runtime (None in bare pools).
+        self.metrics: Optional["MetricsRegistry"] = None
+        self._next_job_id = 1
 
     def set_provider(self, provider: Optional[Provider]) -> None:
         """Register the engine's compaction-picking callback."""
@@ -85,12 +100,21 @@ class BackgroundPool:
     def submit(self, name: str, start_fn: StartFn, *, high_priority: bool = False,
                on_complete: Optional[Callable[[], None]] = None) -> BackgroundJob:
         job = BackgroundJob(name, start_fn, on_complete)
+        if self.tracer.enabled:
+            self._assign_id(job)
+            self.tracer.instant("job", "job-queued", job=job.name, id=job.job_id,
+                                high_priority=high_priority)
         if high_priority:
             self.queue.appendleft(job)
         else:
             self.queue.append(job)
         self._fill_threads()
         return job
+
+    def _assign_id(self, job: BackgroundJob) -> None:
+        if job.job_id == 0:
+            job.job_id = self._next_job_id
+            self._next_job_id += 1
 
     @property
     def pending_debt_s(self) -> float:
@@ -108,6 +132,12 @@ class BackgroundPool:
         job.debt_s = job.start_fn()
         if job.debt_s < 0:
             raise InvariantViolation(f"job {job.name} returned negative debt")
+        job.debt_total = job.debt_s
+        if self.tracer.enabled:
+            # Span opens before a zero-debt job retires, so every begin is
+            # balanced by exactly one end even for instant jobs.
+            self._assign_id(job)
+            self.tracer.begin("job", job.name, job.job_id, debt_s=job.debt_s)
         self.active.append(job)
         if job.debt_s <= 0.0:
             self._retire(job)
@@ -149,12 +179,22 @@ class BackgroundPool:
             self.active.remove(job)
         job.state = DONE
         self.completed_jobs += 1
+        if self.tracer.enabled:
+            # The end mirrors the begin's id; on_complete runs after so any
+            # follow-up submissions trace strictly inside causal order.
+            self.tracer.end("job", job.name, job.job_id, debt_s=job.debt_total)
         if job.on_complete is not None:
             job.on_complete()
 
     # ---------------------------------------------------------------- waiting
-    def wait_for(self, job: BackgroundJob) -> float:
-        """Stall until ``job`` completes; returns elapsed simulated time."""
+    def wait_for(self, job: BackgroundJob, *,
+                 reason: Optional[str] = None) -> float:
+        """Stall until ``job`` completes; returns elapsed simulated time.
+
+        When the wait actually blocked (elapsed > 0), the stall is recorded
+        as structured data -- reason, duration -- in the attached metrics
+        registry, and as a trace instant when tracing is enabled.
+        """
         elapsed = 0.0
         guard = 0
         while not job.done:
@@ -169,6 +209,13 @@ class BackgroundPool:
                 elapsed += self._drain_one(self.active[0])
             else:
                 raise InvariantViolation(f"job {job.name} pending but no thread busy")
+        if elapsed > 0.0:
+            why = reason if reason is not None else f"wait:{job.name}"
+            if self.metrics is not None:
+                self.metrics.add_stall(why, elapsed)
+            if self.tracer.enabled:
+                self.tracer.instant("stall", "stall", reason=why,
+                                    duration_s=elapsed)
         return elapsed
 
     def drain_all(self) -> float:

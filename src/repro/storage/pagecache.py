@@ -16,7 +16,7 @@ per-block reference (:class:`repro.bench.reference.ReferencePageCache`).
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Iterable, List, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.common.errors import ConfigError
 
@@ -41,6 +41,9 @@ class PageCache:
         self._pinned: set = set()
         self.insertions = 0
         self.evictions = 0
+        #: Eviction-batch observer (trace hook); None when tracing is off, so
+        #: the hot admission loop pays a single None check per batch.
+        self.on_evictions: Optional[Callable[[int], None]] = None
 
     def __len__(self) -> int:
         return len(self._lru)
@@ -111,6 +114,7 @@ class PageCache:
         max_blocks = self.max_blocks
         pinned = self._pinned
         pinned_rotations = 0
+        evicted = 0
         while len(lru) >= max_blocks and pinned_rotations < len(lru):
             old_key, _ = lru.popitem(last=False)
             if old_key in pinned:
@@ -118,7 +122,10 @@ class PageCache:
                 pinned_rotations += 1
                 continue
             self.evictions += 1
+            evicted += 1
             self._dec(old_key)
+        if evicted and self.on_evictions is not None:
+            self.on_evictions(evicted)
 
     def insert(self, file_id: int, block_no: int) -> None:
         """Insert (or refresh) one block, evicting LRU blocks as needed."""

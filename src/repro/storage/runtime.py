@@ -14,13 +14,18 @@ instance, and centralizes the charging conventions:
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Tuple
 
 from repro.common.options import StorageOptions
 from repro.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, NullTracer
 from repro.storage.background import BackgroundJob, BackgroundPool
 from repro.storage.pagecache import PageCache
 from repro.storage.simdisk import SimClock, SimDisk, SimFile
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.sampler import TimeseriesSampler
+    from repro.obs.tracer import Tracer
 
 
 class Runtime:
@@ -38,6 +43,25 @@ class Runtime:
         self.pool.lookahead_s = (self.options.io_chunk_bytes
                                  / self.options.device.write_bandwidth)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.pool.metrics = self.metrics
+        #: Trace sink; NULL_TRACER until :meth:`attach_tracer` swaps it.
+        self.tracer: NullTracer = NULL_TRACER
+        self._sampler: Optional["TimeseriesSampler"] = None
+
+    # ---------------------------------------------------------- observability
+    def attach_tracer(self, tracer: "Tracer") -> None:
+        """Route this stack's trace hooks into ``tracer`` (observation-only)."""
+        self.tracer = tracer
+        self.pool.tracer = tracer
+
+        def on_evictions(n: int) -> None:
+            tracer.instant("cache", "evict", blocks=n)
+
+        self.cache.on_evictions = on_evictions
+
+    def attach_sampler(self, sampler: "TimeseriesSampler") -> None:
+        """Drive ``sampler`` from this runtime's per-operation pump."""
+        self._sampler = sampler
 
     # --------------------------------------------------------------- lifecycle
     @property
@@ -49,6 +73,8 @@ class Runtime:
 
     def pump(self) -> None:
         self.pool.pump()
+        if self._sampler is not None:
+            self._sampler.maybe_sample()
 
     def submit_job(self, name: str, start_fn: Callable[[], float], *,
                    high_priority: bool = False,
@@ -57,8 +83,12 @@ class Runtime:
                                 on_complete=on_complete)
 
     def stall_on(self, job: BackgroundJob, reason: str) -> float:
-        """Foreground wait for a background job; records the stall event."""
-        elapsed = self.pool.wait_for(job)
+        """Foreground wait for a background job; records the stall event.
+
+        The pool records the structured reason/duration pair (and the trace
+        instant); the legacy ``stall:<reason>`` event counter stays bumped.
+        """
+        elapsed = self.pool.wait_for(job, reason=reason)
         if elapsed > 0.0:
             self.metrics.bump(f"stall:{reason}")
         return elapsed

@@ -42,6 +42,19 @@ def test_ycsb_example_small():
     assert "throughput" in out
 
 
+def test_trace_compaction_example(tmp_path):
+    out = tmp_path / "side.json"
+    stdout = run_example("trace_compaction.py", "5000", str(out))
+    assert "wrote merged trace" in stdout
+    assert "L " in stdout and "I-1t" in stdout
+    import json
+
+    from repro.obs import validate_chrome_trace
+    trace = json.loads(out.read_text())
+    assert validate_chrome_trace(trace) == []
+    assert {ev["pid"] for ev in trace["traceEvents"]} == {1, 2}
+
+
 @pytest.mark.slow
 def test_tune_mixed_level_example():
     out = run_example("tune_mixed_level.py")

@@ -1,0 +1,64 @@
+"""CLI tracing surface: ``repro trace`` and ``--trace`` on workload runners."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+from repro.obs import validate_chrome_trace
+
+
+def test_trace_command_writes_valid_chrome_trace(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    assert main(["trace", "load", "--records", "3000",
+                 "--out", str(out), "--validate"]) == 0
+    printed = capsys.readouterr().out
+    assert "trace schema ok" in printed
+    assert "trace summary:" in printed
+    assert "busiest background jobs" in printed
+    trace = json.loads(out.read_text())
+    assert validate_chrome_trace(trace) == []
+    phases = {ev["ph"] for ev in trace["traceEvents"]}
+    assert {"M", "i", "b", "e", "C"} <= phases
+
+
+def test_trace_command_ycsb_jsonl(tmp_path, capsys):
+    jsonl = tmp_path / "trace.jsonl"
+    assert main(["trace", "ycsb-a", "--engine", "leveldb",
+                 "--records", "3000", "--ops", "300",
+                 "--jsonl", str(jsonl), "--validate"]) == 0
+    printed = capsys.readouterr().out
+    assert "trace schema ok" in printed
+    lines = jsonl.read_text().splitlines()
+    assert len(lines) > 10
+    objs = [json.loads(line) for line in lines]
+    assert all("ph" in obj for obj in objs)
+    assert any(obj["ph"] == "sample" for obj in objs)
+    begins = sum(1 for o in objs if o["ph"] == "b")
+    ends = sum(1 for o in objs if o["ph"] == "e")
+    assert begins == ends > 0
+
+
+def test_trace_command_interval_controls_sampling(tmp_path, capsys):
+    jsonl = tmp_path / "t.jsonl"
+    assert main(["trace", "load", "--records", "3000",
+                 "--interval", "0.0001", "--jsonl", str(jsonl)]) == 0
+    objs = [json.loads(line) for line in jsonl.read_text().splitlines()]
+    samples = [o for o in objs if o["ph"] == "sample"]
+    assert len(samples) >= 2
+
+
+def test_load_accepts_trace_flag(tmp_path, capsys):
+    path = tmp_path / "load.json"
+    assert main(["load", "--records", "2000", "--trace", str(path)]) == 0
+    assert "wrote trace to" in capsys.readouterr().out
+    assert validate_chrome_trace(json.loads(path.read_text())) == []
+
+
+def test_ycsb_accepts_trace_flag_jsonl(tmp_path, capsys):
+    path = tmp_path / "ycsb.jsonl"
+    assert main(["ycsb", "--workload", "b", "--records", "2000",
+                 "--ops", "200", "--trace", str(path)]) == 0
+    assert "wrote trace to" in capsys.readouterr().out
+    lines = path.read_text().splitlines()
+    assert lines and all(json.loads(line) for line in lines)
