@@ -123,7 +123,10 @@ class Sanitizer:
         """Walk the live tree and storage state; verify every invariant."""
         self.checks_run += 1
         self._check_clock()
-        if hasattr(engine, "levels"):
+        # The level walk reads LSA-shaped structure (per-level nodes with
+        # ranges); LeveledLsm also has ``levels`` but of bare MSTables, so
+        # gate on ``n`` too (recovery calls this for every engine).
+        if hasattr(engine, "levels") and hasattr(engine, "n"):
             self._check_levels(engine, event)
             self._check_policy_bounds(engine, event)
         self._check_space_accounting()

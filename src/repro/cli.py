@@ -11,6 +11,7 @@ Commands
 ``experiment``   regenerate a paper table/figure via the bench harness
 ``perf``         run the hot-path microbenchmarks (BENCH_perf.json)
 ``check``        determinism lint + typing gate + sanitizer smoke run
+``faults``       crash-point matrix: crash everywhere, assert durability
 ``info``         print the scaled configuration in effect
 
 ``load``, ``ycsb`` and ``experiment`` accept ``--sanitize``: every DB built
@@ -18,7 +19,10 @@ for the run gets the runtime sanitizer attached (observation-only; identical
 results, fails fast on a structural invariant violation).  ``load`` and
 ``ycsb`` also accept ``--trace PATH``: the run is traced (observation-only)
 and the trace written to PATH -- Chrome trace-event JSON by default, JSONL
-when PATH ends in ``.jsonl``.
+when PATH ends in ``.jsonl`` -- and ``--faults SPEC``: deterministic
+transient device faults are injected per the spec (e.g.
+``rate=0.01,seed=7`` or ``rate=0.5,time=0.001:0.002``; see
+``repro.faults.plan.parse_fault_spec``).
 
 Examples
 --------
@@ -31,6 +35,8 @@ Examples
     python -m repro compare --records 30000 --engines L R-1t A-1t I-1t
     python -m repro experiment table3
     python -m repro check --list-rules
+    python -m repro load --records 20000 --faults rate=0.01,seed=7
+    python -m repro faults --ops 300 --per-site 1 --out fault-matrix.json
 """
 
 from __future__ import annotations
@@ -96,6 +102,20 @@ def _maybe_trace(args, db):
     return attach_trace(db)
 
 
+def _maybe_faults(args, db):
+    """Arm fault injection when ``--faults SPEC`` was given; returns injector."""
+    spec = getattr(args, "faults", None)
+    if not spec:
+        return None
+    from repro.faults.plan import parse_fault_spec
+    return db.runtime.attach_faults(parse_fault_spec(spec))
+
+
+def _report_faults(injector) -> None:
+    if injector is not None:
+        print(f"\nfaults: {injector.snapshot()}")
+
+
 def _finish_trace(session, path: str) -> None:
     """Write the finished session to ``path`` (JSONL iff ``.jsonl``)."""
     session.finish()
@@ -110,6 +130,7 @@ def cmd_load(args) -> int:
     _apply_sanitize(args)
     db = _build_db(args.engine, args.device, args.memory_mb, args.threads)
     session = _maybe_trace(args, db)
+    injector = _maybe_faults(args, db)
     fn = fill_seq if args.sequential else hash_load
     rep = fn(db, args.records, quiesce=args.quiesce)
     print(format_table(
@@ -118,6 +139,7 @@ def cmd_load(args) -> int:
         title=f"{'fillseq' if args.sequential else 'hash load'} of "
               f"{args.records} records ({args.device})"))
     print("\nstructure:", db.engine.describe())
+    _report_faults(injector)
     if session is not None:
         _finish_trace(session, args.trace)
     db.close()
@@ -129,6 +151,7 @@ def cmd_ycsb(args) -> int:
     spec = YCSB_WORKLOADS[args.workload.upper()]
     db = _build_db(args.engine, args.device, args.memory_mb, args.threads)
     session = _maybe_trace(args, db)
+    injector = _maybe_faults(args, db)
     hash_load(db, args.records, quiesce=False)
     rep = run_ycsb(db, spec, args.ops, args.records)
     print(f"YCSB-{spec.name} on {args.engine} ({args.device}): "
@@ -138,6 +161,7 @@ def cmd_ycsb(args) -> int:
               f"p50={digest['p50'] * 1e6:9.1f}us "
               f"p99={digest['p99'] * 1e6:9.1f}us "
               f"max={digest['max'] * 1e3:9.2f}ms")
+    _report_faults(injector)
     if session is not None:
         _finish_trace(session, args.trace)
     db.close()
@@ -247,6 +271,29 @@ def cmd_check(args) -> int:
     return check_main(args.check_args)
 
 
+def cmd_faults(args) -> int:
+    """Crash-point matrix: crash at every reachable site, verify recovery."""
+    import json
+    from repro.faults.crash import run_crash_matrix
+    report = run_crash_matrix(
+        tuple(args.engines), n_ops=args.ops, per_site=args.per_site,
+        seed=args.seed, torn_variants=tuple(args.torn),
+        sanitize=not args.no_sanitize)
+    for engine, counts in report["sites"].items():
+        print(f"{engine}: sites {counts}")
+    print(f"{report['n_cases']} crash cases, "
+          f"{report['n_failures']} contract failures")
+    for case in report["failures"]:
+        print(f"  FAIL {case['engine']} {case['site']} "
+              f"occ={case['occurrence']} torn={case['torn']}: "
+              f"{case.get('error')}", file=sys.stderr)
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"wrote fault-matrix report to {args.out}")
+    return 1 if report["n_failures"] else 0
+
+
 def cmd_info(args) -> int:
     from repro.bench.scale import RECORD_BYTES, scale_factor
     print(f"REPRO_SCALE = {scale_factor()}")
@@ -276,6 +323,9 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--trace", metavar="PATH", default=None,
                         help="trace the run; write Chrome trace JSON "
                              "(or JSONL when PATH ends in .jsonl)")
+        sp.add_argument("--faults", metavar="SPEC", default=None,
+                        help="inject deterministic transient device faults, "
+                             "e.g. rate=0.01,seed=7 or rate=0.5,ops=500:600")
 
     sp = sub.add_parser("load", help="hash-load records, report amplifications")
     common(sp)
@@ -341,6 +391,25 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("check_args", nargs=argparse.REMAINDER,
                     help="arguments for the check driver, e.g. --list-rules")
     sp.set_defaults(fn=cmd_check)
+
+    sp = sub.add_parser(
+        "faults",
+        help="crash-point matrix: crash at every pipeline site, verify the "
+             "durability contract after recovery")
+    sp.add_argument("--engines", nargs="+", default=["iam", "leveldb"],
+                    help="engines to run the matrix over")
+    sp.add_argument("--ops", type=int, default=300,
+                    help="workload operations per matrix cell")
+    sp.add_argument("--per-site", type=int, default=1,
+                    help="crash occurrences to test per reachable site")
+    sp.add_argument("--seed", type=int, default=1)
+    sp.add_argument("--torn", type=int, nargs="+", default=[0, 4],
+                    help="torn-WAL-tail record counts to test")
+    sp.add_argument("--no-sanitize", action="store_true",
+                    help="skip the runtime sanitizer during the matrix")
+    sp.add_argument("--out", metavar="PATH", default=None,
+                    help="write the JSON report to PATH")
+    sp.set_defaults(fn=cmd_faults)
 
     sp = sub.add_parser("info", help="print the scaled configuration")
     sp.set_defaults(fn=cmd_info)

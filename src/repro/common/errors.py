@@ -17,5 +17,13 @@ class InvariantViolation(ReproError):
     """An internal structural invariant was broken (always a bug)."""
 
 
+class TransientIOError(ReproError):
+    """A simulated device request failed transiently (fault injection).
+
+    Raised by the fault injector against a single I/O attempt; callers retry
+    with backoff, so user code only observes it once retries are exhausted.
+    """
+
+
 class StoreClosedError(ReproError):
     """Operation attempted on a closed database."""

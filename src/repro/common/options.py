@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.common.errors import ConfigError
 
@@ -86,6 +86,57 @@ class StorageOptions:
             raise ConfigError("block_size must be > 0")
         if self.io_chunk_bytes <= 0:
             raise ConfigError("io_chunk_bytes must be > 0")
+
+
+@dataclass(frozen=True)
+class FaultOptions:
+    """Deterministic transient-fault injection plan (see repro.faults).
+
+    Faults are decided per I/O attempt from a seeded hash plus explicit
+    windows, so two runs with the same options and workload fail (and
+    recover) identically.  ``rate`` must stay below 1.0: windows terminate
+    on their own (op windows are consumed, time windows are escaped by
+    backoff), but an always-failing device would retry forever.
+    """
+
+    #: Seed of the per-attempt fault hash (splitmix64).
+    seed: int = 1
+    #: Probability in [0, 1) that any single I/O attempt fails.
+    rate: float = 0.0
+    #: Half-open [lo, hi) windows of global I/O-attempt indices that fail.
+    op_windows: Tuple[Tuple[int, int], ...] = ()
+    #: Half-open [lo, hi) sim-time windows (seconds) during which attempts fail.
+    time_windows: Tuple[Tuple[float, float], ...] = ()
+    #: Attempts per foreground I/O / background activation before giving up.
+    max_retries: int = 6
+    #: First retry backoff (seconds); doubles per retry up to backoff_max_s.
+    backoff_base_s: float = 0.0005
+    backoff_max_s: float = 0.05
+    #: Re-queue delay after a flush job exhausts its retries (flushes are
+    #: never dropped -- they hold the only copy of the immutable memtable).
+    giveup_backoff_s: float = 0.2
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.rate < 1.0):
+            raise ConfigError("fault rate must be in [0, 1)")
+        for lo, hi in self.op_windows:
+            if lo < 0 or hi <= lo:
+                raise ConfigError("op_windows entries need 0 <= lo < hi")
+        for tlo, thi in self.time_windows:
+            if tlo < 0 or thi <= tlo:
+                raise ConfigError("time_windows entries need 0 <= lo < hi")
+        if self.max_retries < 1:
+            raise ConfigError("max_retries must be >= 1")
+        if self.backoff_base_s <= 0:
+            raise ConfigError("backoff_base_s must be > 0")
+        if self.backoff_max_s < self.backoff_base_s:
+            raise ConfigError("backoff_max_s must be >= backoff_base_s")
+        if self.giveup_backoff_s <= 0:
+            raise ConfigError("giveup_backoff_s must be > 0")
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.rate > 0.0 or self.op_windows or self.time_windows)
 
 
 @dataclass(frozen=True)

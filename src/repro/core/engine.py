@@ -65,6 +65,34 @@ class EngineBase(abc.ABC):
         if tracer.enabled:
             tracer.instant(cat, name, **args)
 
+    def _crash_point(self, site: str) -> None:
+        """Fire the crash-point scheduler at an engine-internal site."""
+        cp = self.runtime.crash_points
+        if cp is not None:
+            cp.reached(site)
+
+    def _fault_gate(self, nbytes: int) -> float:
+        """Degradation pacing while background jobs keep failing.
+
+        Each consecutive job give-up (``pool.failed_streak``) halves the
+        write rate, floored at 1/256 of device bandwidth: under a failing
+        device the store slows down instead of crashing or running the
+        structure unboundedly far past its thresholds.  Returns the added
+        latency (0.0 on the clean path).
+        """
+        streak = self.runtime.pool.failed_streak
+        if streak <= 0 or nbytes <= 0:
+            return 0.0
+        frac = max(2.0 ** -min(streak, 8), 1.0 / 256.0)
+        bw = self.runtime.options.device.write_bandwidth
+        extra = nbytes / (bw * frac) - nbytes / bw
+        if extra <= 0.0:
+            return 0.0
+        self.runtime.clock.advance(extra)
+        self.runtime.metrics.bump("slowdown:fault-degraded")
+        self._trace("gate", "fault-degraded", streak=streak, delay_s=extra)
+        return extra
+
     # ------------------------------------------------------------------ write
     @property
     @abc.abstractmethod
@@ -81,7 +109,7 @@ class EngineBase(abc.ABC):
         ``nbytes`` is the write's encoded size (slowdowns pace by bytes).
         Returns the simulated latency spent gated (0.0 when unobstructed).
         """
-        return 0.0
+        return self._fault_gate(nbytes)
 
     # ------------------------------------------------------------- background
     @abc.abstractmethod
@@ -129,8 +157,24 @@ class EngineBase(abc.ABC):
     # --------------------------------------------------------------- recovery
     @abc.abstractmethod
     def checkpoint_state(self) -> object:
-        """Durable structure snapshot for the manifest."""
+        """Durable structure snapshot for the manifest.
+
+        Must be an *owned*, pure-data snapshot: no references to live nodes,
+        tables or level lists (the manifest stores it verbatim, so aliasing
+        would leak post-checkpoint mutations into recovery).
+        """
 
     @abc.abstractmethod
     def restore_state(self, state: object) -> None:
-        """Rebuild the structure from a manifest checkpoint."""
+        """Rebuild the structure from a manifest checkpoint.
+
+        ``state`` is what :meth:`checkpoint_state` returned, or None to
+        reset the engine to its pristine (empty) structure -- the crash
+        path before any checkpoint exists.  Implementations release the
+        files of the structure they replace; output files of abandoned
+        in-flight jobs are swept separately by the DB's orphan collector.
+        """
+
+    @abc.abstractmethod
+    def live_file_ids(self) -> set:
+        """File ids referenced by the current structure (orphan-GC keep set)."""

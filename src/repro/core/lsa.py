@@ -23,7 +23,7 @@ child only once it is full.
 from __future__ import annotations
 
 import bisect
-from typing import Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Set, Tuple, cast
 
 from repro.common.errors import InvariantViolation
 from repro.common.options import LsaOptions
@@ -43,6 +43,7 @@ from repro.storage.background import BackgroundJob
 from repro.storage.runtime import Runtime
 from repro.table.block import Sequence
 from repro.table.merge import merge_runs
+from repro.table.mstable import MSTable
 
 
 class LsaTree(EngineBase):
@@ -379,6 +380,9 @@ class LsaTree(EngineBase):
 
         node.drop_table()
         lst.pop(idx)
+        # The node is gone but its halves are not yet inserted: a crash here
+        # loses the in-flight rewrite (recovered from the checkpoint + WAL).
+        self._crash_point("mid-split")
         opts = self.options
         for new_node, recs in ((node_a, rec_a), (node_b, rec_b)):
             if recs:
@@ -419,6 +423,7 @@ class LsaTree(EngineBase):
         self.runtime.metrics.bump("combine")
         self._trace("structure", "combine", level=level)
         debt = self._flush_node(level, victim, destroy=True)
+        self._crash_point("mid-combine")
         self._sanitize("combine")
         return debt
 
@@ -604,8 +609,40 @@ class LsaTree(EngineBase):
 
     # --------------------------------------------------------------- recovery
     def checkpoint_state(self) -> object:
-        return {"n": self.n, "levels": [list(lvl) for lvl in self.levels]}
+        """Owned pure-data snapshot: (range_lo, range_hi, table snapshot|None)
+        per node -- no live node/table references (see Manifest.checkpoint)."""
+        return {
+            "n": self.n,
+            "levels": [
+                [(node.range_lo, node.range_hi,
+                  node.table.snapshot() if node.table is not None else None)
+                 for node in lvl]
+                for lvl in self.levels
+            ],
+        }
 
     def restore_state(self, state: object) -> None:
-        self.n = state["n"]
-        self.levels = [list(lvl) for lvl in state["levels"]]
+        for lvl in self.levels:
+            for node in lvl:
+                node.drop_table()
+        if state is None:
+            self.n = 1
+            self.levels = [[], []]
+            return
+        sdict = cast(Dict[str, Any], state)
+        self.n = sdict["n"]
+        levels: List[List[LsaNode]] = []
+        for lvl in sdict["levels"]:
+            nodes: List[LsaNode] = []
+            for lo, hi, snap in lvl:
+                node = LsaNode(lo, hi)
+                if snap is not None:
+                    node.table = MSTable.from_snapshot(self.runtime, snap)
+                nodes.append(node)
+            levels.append(nodes)
+        self.levels = levels
+
+    def live_file_ids(self) -> Set[int]:
+        return {node.table.file_id
+                for lvl in self.levels for node in lvl
+                if node.table is not None and not node.table.deleted}

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Tuple, Un
 
 from repro.common.errors import ConfigError, StoreClosedError
 from repro.common.options import (
+    FaultOptions,
     IamOptions,
     LsaOptions,
     LsmOptions,
@@ -35,6 +36,7 @@ from repro.common.records import (
     DELETE,
     Key,
     RecordTuple,
+    SEQ,
     VALUE,
     Value,
     encoded_size,
@@ -46,6 +48,7 @@ from repro.core.iam import IamTree
 from repro.core.lsa import LsaTree
 from repro.db.iterator import merge_visible
 from repro.db.snapshot import Snapshot
+from repro.faults.crash import CrashSpec, RecoveryReport
 from repro.lsm.flsm import FlsmEngine
 from repro.lsm.leveled import LeveledLsm
 from repro.memtable import Memtable
@@ -100,13 +103,16 @@ class IamDB:
     def __init__(self, engine: str = "iam", *,
                  engine_options: Any = None,
                  storage_options: Optional[StorageOptions] = None,
-                 sanitizer_options: Optional["SanitizerOptions"] = None) -> None:
+                 sanitizer_options: Optional["SanitizerOptions"] = None,
+                 fault_options: Optional[FaultOptions] = None) -> None:
         self.metrics = MetricsRegistry()
         threads = getattr(engine_options, "background_threads", None)
         if threads is None:
             threads = 1
         self.runtime = Runtime(storage_options, background_threads=threads,
                                metrics=self.metrics)
+        if fault_options is not None and fault_options.enabled:
+            self.runtime.attach_faults(fault_options)
         self.engine = _engine_factory(engine, engine_options, self.runtime)
         self.engine.snapshots_provider = self._live_snapshots
         self.key_size = self.engine.options.key_size
@@ -182,6 +188,7 @@ class IamDB:
         total = sum(encoded_size(r, self.key_size) for r in recs)
         self.engine.write_gate(total)
         self.wal.append_many(recs)
+        self._crash_point("post-wal-append")
         self.memtable.add_many(recs)
         self.metrics.add_user_bytes(total)
         if self.memtable.nbytes >= self.engine.memtable_capacity:
@@ -213,6 +220,7 @@ class IamDB:
         nbytes = encoded_size(rec, self.key_size)
         self.engine.write_gate(nbytes)
         self.wal.append(rec)
+        self._crash_point("post-wal-append")
         self.memtable.add(rec)
         self.metrics.add_user_bytes(nbytes)
         if self.memtable.nbytes >= self.engine.memtable_capacity:
@@ -224,6 +232,12 @@ class IamDB:
         """Run the DB-level sanitizer checks at a quiescent point."""
         if self.sanitizer is not None:
             self.sanitizer.check_db(event)
+
+    def _crash_point(self, site: str) -> None:
+        """Crash-site hook (no-op unless a CrashPoints scheduler is armed)."""
+        cp = self.runtime.crash_points
+        if cp is not None:
+            cp.reached(site)
 
     def _rotate_memtable(self) -> None:
         self._sanitize_db("rotation")
@@ -251,17 +265,26 @@ class IamDB:
             if self._imm_job is job:
                 self.immutable = None
                 self._imm_job = None
-            self.wal.truncate_through(flushed_through)
+            # Checkpoint strictly BEFORE truncating the log.  The reverse
+            # order has a crash window where the flushed records' only
+            # durable copy (the WAL prefix) is gone while the manifest still
+            # points at the pre-flush structure -- acked writes would
+            # vanish.  A crash between the two steps here merely leaves
+            # covered records in the log; recovery drops them.
+            self._crash_point("pre-checkpoint")
             self.manifest.checkpoint({
                 "engine": self.engine.checkpoint_state(),
                 "seq": flushed_through,
             })
             self.manifest.edits += 1
+            self._crash_point("post-checkpoint")
+            self.wal.truncate_through(flushed_through)
 
         if job.done:
             on_done()
         else:
             job.on_complete = on_done
+        self._crash_point("post-rotate")
 
     def flush(self) -> float:
         """Flush the memtable and wait for the flush to hit the structure."""
@@ -340,42 +363,88 @@ class IamDB:
         return tuple(sorted(self._snapshots))
 
     # --------------------------------------------------------------- recovery
-    def crash_and_recover(self) -> None:
-        """Simulate a process crash and recover from WAL + manifest.
+    def crash_and_recover(self, crash: Optional[CrashSpec] = None) -> RecoveryReport:
+        """Simulate a *hard* process crash and recover from WAL + manifest.
 
-        Compactions and flushes apply atomically through the manifest in this
-        simulation (as LevelDB's version edits do), so the durable structure
-        is exactly the engine state; what a crash loses is the volatile
-        memtable, which is rebuilt by replaying the WAL suffix appended since
-        the last completed flush.
+        The crash model destroys everything a power cut would:
+
+        * in-flight and queued background jobs are abandoned mid-I/O -- any
+          structural effect they already applied rolls back to the last
+          manifest checkpoint, and the files they wrote become orphans
+          (swept below);
+        * the volatile memtable, immutable memtable and snapshots are gone;
+        * with ``crash.torn_tail_records > 0``, that many un-synced WAL tail
+          records are lost -- snapped down to a group-commit boundary so an
+          acked batch is never half-lost.
+
+        Recovery restores the last checkpointed structure (pristine when no
+        flush ever completed), sweeps crash-orphaned files, drops any log
+        prefix the checkpoint already covers, replays the surviving WAL into
+        a fresh memtable, and rewinds the sequence counter to the recovered
+        cut.  Returns a :class:`~repro.faults.crash.RecoveryReport`.
         """
         self._check_open()
-        # In-flight flush I/O completes (or is journalled) before the crash.
-        if self._imm_job is not None and not self._imm_job.done:
-            self.runtime.pool.wait_for(self._imm_job, reason="crash-flush")
+        runtime = self.runtime
+        # The process dies: background work is dropped on the floor.
+        abandoned = runtime.pool.abandon_all()
+        self.memtable = Memtable(self.key_size)
         self.immutable = None
         self._imm_job = None
-        # Volatile state is gone.
-        self.memtable = Memtable(self.key_size)
         self._snapshots.clear()
-        # Restore the durable structure from the last manifest checkpoint.
+        torn = 0
+        if crash is not None and crash.torn_tail_records > 0:
+            torn = self.wal.tear(crash.torn_tail_records)
+        # Restore the durable structure from the last manifest checkpoint
+        # (None = no flush ever completed: the structure is pristine and the
+        # WAL still holds every record).
         state = self.manifest.restore()
-        max_seq = 0
+        durable_seq = 0
         if state is not None:
-            self.engine.restore_state(state["engine"])
-            max_seq = state["seq"]
-        # Replay the WAL suffix into a fresh memtable.
+            durable_seq = state["seq"]
+        self.engine.restore_state(state["engine"] if state is not None else None)
+        orphans = self._sweep_orphans()
+        # A crash between checkpoint and log truncation leaves covered
+        # records in the WAL; they are already in the restored structure, so
+        # recovery finishes the interrupted truncation.
+        if len(self.wal) and self.wal.replay()[0][SEQ] <= durable_seq:
+            self.wal.truncate_through(durable_seq)
+        # Replay the surviving WAL suffix into a fresh memtable.
         replayed = self.wal.replay()
         self.memtable.add_many(replayed)
+        recovered_seq = durable_seq
         for rec in replayed:
-            if rec[1] > max_seq:
-                max_seq = rec[1]
-        self._seq = max(self._seq, max_seq)
+            if rec[SEQ] > recovered_seq:
+                recovered_seq = rec[SEQ]
+        self._seq = recovered_seq
         self.metrics.bump("recovery")
-        if self.runtime.tracer.enabled:
-            self.runtime.tracer.instant("db", "recovery",
-                                        replayed=len(replayed), seq=self._seq)
+        if runtime.tracer.enabled:
+            runtime.tracer.instant("db", "recovery", replayed=len(replayed),
+                                   seq=recovered_seq, torn=torn,
+                                   orphans=orphans, abandoned=abandoned)
         self._sanitize_db("recovery-end")
+        if self.sanitizer is not None:
+            self.sanitizer.check_tree(self.engine, event="recovery-end")
+        return RecoveryReport(durable_seq=durable_seq,
+                              recovered_seq=recovered_seq,
+                              replayed_records=len(replayed),
+                              torn_records=torn, orphan_files=orphans,
+                              abandoned_jobs=abandoned)
+
+    def _sweep_orphans(self) -> int:
+        """Delete files no live structure references (crash-orphaned output).
+
+        An abandoned flush or compaction has already written (and grown)
+        node files that the restored checkpoint never links; a real system's
+        recovery GCs them against the manifest exactly like this.
+        """
+        live = set(self.engine.live_file_ids())
+        live.add(self.wal.file_id)
+        live.add(self.manifest.file_id)
+        disk = self.runtime.disk
+        orphan_ids = [fid for fid in disk.files if fid not in live]
+        for fid in orphan_ids:
+            self.runtime.delete_file(disk.files[fid])
+        return len(orphan_ids)
 
     # ------------------------------------------------------------- inspection
     def write_amplification(self, *, include_wal: bool = False) -> float:

@@ -1,0 +1,30 @@
+"""Deterministic fault injection and crash-point scheduling.
+
+Two adversaries for the write pipeline, both fully deterministic on the
+simulated substrate (no wall clock, no ambient randomness):
+
+* :mod:`repro.faults.plan` -- seeded transient device-I/O faults with retry
+  + exponential backoff (foreground) and bounded-retries -> job-failure
+  (background), exercising graceful degradation.
+* :mod:`repro.faults.crash` -- a hard crash model (torn WAL tail, lost
+  in-flight flush output, un-checkpointed manifest edits) plus a scheduler
+  that enumerates crash sites across the write pipeline and asserts the
+  durability contract at each one.
+"""
+
+from repro.faults.crash import (CRASH_SITES, CrashPoints, CrashSpec,
+                                RecoveryReport, SimulatedCrash,
+                                run_crash_matrix)
+from repro.faults.plan import FaultInjector, FaultPlan, parse_fault_spec
+
+__all__ = [
+    "CRASH_SITES",
+    "CrashPoints",
+    "CrashSpec",
+    "FaultInjector",
+    "FaultPlan",
+    "RecoveryReport",
+    "SimulatedCrash",
+    "parse_fault_spec",
+    "run_crash_matrix",
+]

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import bisect
 import heapq
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple, cast
 
 from repro.common.errors import InvariantViolation
 from repro.common.options import LsmOptions
@@ -90,7 +90,7 @@ class FlsmEngine(EngineBase):
 
     def write_gate(self, nbytes: int) -> float:
         opts = self.options
-        lat = 0.0
+        lat = self._fault_gate(nbytes)
         n0 = len(self.guards[0][0].tables)
         if n0 >= opts.l0_slowdown_trigger:
             bw = self.runtime.disk.profile.write_bandwidth
@@ -345,19 +345,38 @@ class FlsmEngine(EngineBase):
 
     # --------------------------------------------------------------- recovery
     def checkpoint_state(self) -> object:
+        """Owned pure-data snapshot (see Manifest.checkpoint)."""
         return {
-            "guards": [[(g.lo, list(g.tables)) for g in lvl] for lvl in self.guards],
+            "guards": [[(g.lo, tuple(t.snapshot() for t in g.tables))
+                        for g in lvl] for lvl in self.guards],
         }
 
     def restore_state(self, state: object) -> None:
+        for lvl in self.guards:
+            for g in lvl:
+                for t in g.tables:
+                    t.delete()
+        if state is None:
+            n = self.options.max_levels
+            self.guards = [[_Guard(None)] for _ in range(n)]
+            self._cuts = [[] for _ in range(n)]
+            self.level_bytes = [0] * n
+            self._busy_levels = set()
+            return
+        sdict = cast(Dict[str, Any], state)
         self.guards = []
-        for lvl in state["guards"]:
+        for lvl in sdict["guards"]:
             level = []
-            for lo, tables in lvl:
+            for lo, snaps in lvl:
                 g = _Guard(lo)
-                g.tables = list(tables)
+                g.tables = [MSTable.from_snapshot(self.runtime, snap)
+                            for snap in snaps]
                 level.append(g)
             self.guards.append(level)
         self._cuts = [[g.lo for g in lvl[1:]] for lvl in self.guards]
         self.level_bytes = [sum(g.nbytes for g in lvl) for lvl in self.guards]
         self._busy_levels = set()
+
+    def live_file_ids(self) -> Set[int]:
+        return {t.file_id for lvl in self.guards for g in lvl
+                for t in g.tables if not t.deleted}

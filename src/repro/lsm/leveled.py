@@ -21,7 +21,7 @@ overlapping files one level down, trivial moves when nothing overlaps.
 from __future__ import annotations
 
 import bisect
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple, cast
 
 from repro.common.errors import InvariantViolation
 from repro.common.options import LsmOptions
@@ -82,7 +82,7 @@ class LeveledLsm(EngineBase):
 
     def write_gate(self, nbytes: int) -> float:
         opts = self.options
-        lat = 0.0
+        lat = self._fault_gate(nbytes)
         # Soft gate: RocksDB-style delayed writes on pending compaction debt.
         if opts.pending_compaction_soft_bytes:
             if self._pending_compaction_bytes() > opts.pending_compaction_soft_bytes:
@@ -245,6 +245,9 @@ class LeveledLsm(EngineBase):
         for t in inputs_down:
             self._remove_table(level + 1, t)
             self.level_bytes[level + 1] -= t.data_bytes
+        # Inputs are unlinked but outputs not yet built: a crash here leaves
+        # the in-flight compaction's files as orphans for recovery to sweep.
+        self._crash_point("mid-compact")
 
         for chunk in self._split_records(merged, self.options.file_bytes):
             table, d = MSTable.build(
@@ -434,13 +437,30 @@ class LeveledLsm(EngineBase):
 
     # --------------------------------------------------------------- recovery
     def checkpoint_state(self) -> object:
+        """Owned pure-data snapshot (see Manifest.checkpoint): per-table
+        sequence tuples, no live MSTable references."""
         return {
-            "levels": [list(lst) for lst in self.levels],
+            "levels": [[t.snapshot() for t in lst] for lst in self.levels],
             "compact_pointer": list(self.compact_pointer),
         }
 
     def restore_state(self, state: object) -> None:
-        self.levels = [list(lst) for lst in state["levels"]]
+        for lst in self.levels:
+            for t in lst:
+                t.delete()
+        n = self.options.max_levels
+        if state is None:
+            self.levels = [[] for _ in range(n)]
+            self.level_bytes = [0] * n
+            self.compact_pointer = [None] * n
+            self._busy_levels = set()
+            return
+        sdict = cast(Dict[str, Any], state)
+        self.levels = [[MSTable.from_snapshot(self.runtime, snap)
+                        for snap in lst] for lst in sdict["levels"]]
         self.level_bytes = [sum(t.data_bytes for t in lst) for lst in self.levels]
-        self.compact_pointer = list(state["compact_pointer"])
+        self.compact_pointer = list(sdict["compact_pointer"])
         self._busy_levels = set()
+
+    def live_file_ids(self) -> Set[int]:
+        return {t.file_id for lst in self.levels for t in lst if not t.deleted}

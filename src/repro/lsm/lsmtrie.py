@@ -22,7 +22,7 @@ sequences are sorted by trie key.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.common.errors import InvariantViolation, ReproError
 from repro.common.options import LsaOptions
@@ -266,16 +266,31 @@ class LsmTrieEngine(EngineBase):
 
     # --------------------------------------------------------------- recovery
     def checkpoint_state(self) -> object:
+        """Owned pure-data snapshot (see Manifest.checkpoint)."""
         def snap(node: _TrieNode):
-            return (node.depth, node.table,
+            return (node.depth,
+                    node.table.snapshot() if node.table is not None else None,
                     {i: snap(c) for i, c in node.children.items()})
         return snap(self.root)
 
     def restore_state(self, state: object) -> None:
+        for node in self._walk():
+            if node.table is not None:
+                node.table.delete()
+                node.table = None
+        if state is None:
+            self.root = _TrieNode(0)
+            return
+
         def build(s) -> _TrieNode:
-            depth, table, children = s
+            depth, table_snap, children = s
             node = _TrieNode(depth)
-            node.table = table
+            if table_snap is not None:
+                node.table = MSTable.from_snapshot(self.runtime, table_snap)
             node.children = {i: build(c) for i, c in children.items()}
             return node
         self.root = build(state)
+
+    def live_file_ids(self) -> Set[int]:
+        return {node.table.file_id for node in self._walk()
+                if node.table is not None and not node.table.deleted}

@@ -21,7 +21,18 @@ Two properties matter for fidelity:
   that produce LevelDB's multi-second maximum latencies (§6.2).
 
 Flush jobs are submitted with ``high_priority=True`` and activate before any
-queued compaction, mirroring LevelDB/RocksDB flush priority.
+queued compaction, mirroring LevelDB/RocksDB flush priority.  Within the
+high-priority class order is FIFO: a later memtable must never flush before
+an earlier one (recovery correctness depends on flush order matching
+sequence order).
+
+Fault injection (see :mod:`repro.faults`) hooks job activation: a faulted
+activation attempt re-queues the job with exponential backoff; after
+``max_retries`` attempts a compaction *fails* (its ``on_complete`` runs so
+the engine can re-pick it later) while a flush is re-queued after a longer
+pause -- flushes hold the only copy of the immutable memtable and are never
+dropped.  Repeated give-ups raise ``failed_streak``, which the engines'
+write gates translate into pacing (graceful degradation, not crash).
 """
 
 from __future__ import annotations
@@ -34,6 +45,8 @@ from repro.obs.tracer import NULL_TRACER, NullTracer
 from repro.storage.simdisk import SimDisk
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.crash import CrashPoints
+    from repro.faults.plan import FaultInjector
     from repro.metrics import MetricsRegistry
 
 PENDING = 0
@@ -50,7 +63,8 @@ class BackgroundJob:
     """A unit of background work: structural effect + device-time debt."""
 
     __slots__ = ("name", "start_fn", "debt_s", "debt_total", "not_before",
-                 "state", "on_complete", "job_id")
+                 "state", "on_complete", "job_id", "high_priority",
+                 "retries", "retry_at", "failed")
 
     def __init__(self, name: str, start_fn: StartFn,
                  on_complete: Optional[Callable[[], None]] = None) -> None:
@@ -65,6 +79,13 @@ class BackgroundJob:
         #: Deterministic id assigned at submission (0 = never pooled);
         #: keys the tracer's begin/end span pair.
         self.job_id = 0
+        #: Flush-class job (set by submit; provider jobs are compactions).
+        self.high_priority = False
+        #: Fault-injection bookkeeping: activation attempts so far, earliest
+        #: sim-time of the next attempt, and the terminal give-up flag.
+        self.retries = 0
+        self.retry_at = 0.0
+        self.failed = False
 
     @property
     def done(self) -> bool:
@@ -91,6 +112,15 @@ class BackgroundPool:
         #: Structured-stall recorder; wired by Runtime (None in bare pools).
         self.metrics: Optional["MetricsRegistry"] = None
         self._next_job_id = 1
+        #: Fault injector (None = clean device); wired by Runtime.attach_faults.
+        self.injector: Optional["FaultInjector"] = None
+        #: Crash-point scheduler (None = no crash sites armed).
+        self.crash_points: Optional["CrashPoints"] = None
+        #: Consecutive job give-ups with no successful retirement in between;
+        #: engines read this to escalate their write gates.
+        self.failed_streak = 0
+        #: Total jobs that exhausted their retries (monotonic).
+        self.failed_jobs = 0
 
     def set_provider(self, provider: Optional[Provider]) -> None:
         """Register the engine's compaction-picking callback."""
@@ -104,12 +134,28 @@ class BackgroundPool:
             self._assign_id(job)
             self.tracer.instant("job", "job-queued", job=job.name, id=job.job_id,
                                 high_priority=high_priority)
-        if high_priority:
-            self.queue.appendleft(job)
-        else:
-            self.queue.append(job)
+        self._enqueue(job, high_priority=high_priority)
         self._fill_threads()
         return job
+
+    def _enqueue(self, job: BackgroundJob, *, high_priority: bool) -> None:
+        """Priority insert that stays FIFO *within* each priority class.
+
+        A plain ``appendleft`` for high-priority jobs would run two queued
+        flushes LIFO -- a later memtable flushing before an earlier one --
+        so high-priority jobs are inserted after any high-priority entries
+        already queued, and before the first normal-priority entry.
+        """
+        job.high_priority = high_priority
+        if high_priority:
+            idx = 0
+            for queued in self.queue:
+                if not queued.high_priority:
+                    break
+                idx += 1
+            self.queue.insert(idx, job)
+        else:
+            self.queue.append(job)
 
     def _assign_id(self, job: BackgroundJob) -> None:
         if job.job_id == 0:
@@ -127,6 +173,9 @@ class BackgroundPool:
 
     # ------------------------------------------------------------- activation
     def _activate(self, job: BackgroundJob) -> None:
+        if self.injector is not None and self.injector.job_attempt_fails(job):
+            self._job_fault(job)
+            return
         job.state = ACTIVE
         job.not_before = max(self.disk.busy_until, 0.0)
         job.debt_s = job.start_fn()
@@ -139,15 +188,99 @@ class BackgroundPool:
             self._assign_id(job)
             self.tracer.begin("job", job.name, job.job_id, debt_s=job.debt_s)
         self.active.append(job)
+        if self.crash_points is not None:
+            # The structural effect has run but none of the job's I/O debt
+            # has drained: a crash here loses the in-flight output.
+            self.crash_points.reached(
+                "mid-flush" if job.high_priority else "post-compact")
         if job.debt_s <= 0.0:
             self._retire(job)
+
+    def _job_fault(self, job: BackgroundJob) -> None:
+        """A faulted activation attempt: back off, give up, or re-queue."""
+        if self.injector is None:
+            raise InvariantViolation("job fault without an injector")
+        opts = self.injector.options
+        job.retries += 1
+        if self.metrics is not None:
+            self.metrics.bump("fault:job-fault")
+        if self.tracer.enabled:
+            self._assign_id(job)
+            self.tracer.instant("fault", "job-fault", job=job.name,
+                                id=job.job_id, retries=job.retries)
+        now = self.disk.clock.now
+        if job.retries <= opts.max_retries:
+            backoff = min(opts.backoff_base_s * (2.0 ** (job.retries - 1)),
+                          opts.backoff_max_s)
+            job.retry_at = now + backoff
+            self._enqueue(job, high_priority=job.high_priority)
+            return
+        # Retries exhausted.
+        self.failed_streak += 1
+        self.failed_jobs += 1
+        self.injector.giveups += 1
+        if job.high_priority:
+            # Flushes hold the only copy of the immutable memtable: never
+            # dropped, re-queued after a longer pause instead.
+            job.retries = 0
+            job.retry_at = now + opts.giveup_backoff_s
+            if self.metrics is not None:
+                self.metrics.bump("fault:flush-requeue")
+            if self.tracer.enabled:
+                self.tracer.instant("fault", "flush-requeue", job=job.name,
+                                    id=job.job_id)
+            self._enqueue(job, high_priority=True)
+            return
+        job.failed = True
+        job.state = DONE
+        if self.metrics is not None:
+            self.metrics.bump("fault:job-giveup")
+        if self.tracer.enabled:
+            self.tracer.instant("fault", "job-giveup", job=job.name,
+                                id=job.job_id)
+        if job.on_complete is not None:
+            # Lets the engine clear its busy marker and re-pick the
+            # compaction through the provider -- failed work re-queues.
+            job.on_complete()
+
+    def _pop_ready(self) -> Optional[BackgroundJob]:
+        """Next queued job whose backoff has expired (FIFO otherwise)."""
+        if self.injector is None:
+            return self.queue.popleft() if self.queue else None
+        now = self.disk.clock.now
+        for i, job in enumerate(self.queue):
+            if job.retry_at <= now:
+                del self.queue[i]
+                return job
+        return None
+
+    def _queue_ready(self) -> bool:
+        if self.injector is None:
+            return bool(self.queue)
+        now = self.disk.clock.now
+        return any(job.retry_at <= now for job in self.queue)
+
+    def _sleep_until_ready(self) -> Optional[float]:
+        """Advance the clock to the earliest queued retry; None when there is
+        nothing to wait for (no injector or empty queue)."""
+        if self.injector is None or not self.queue:
+            return None
+        now = self.disk.clock.now
+        target = min(job.retry_at for job in self.queue)
+        if target <= now:
+            return 0.0
+        self.disk.clock.advance(target - now)
+        return target - now
 
     def _fill_threads(self) -> None:
         """Activate queued work, then ask the provider, while threads idle."""
         while len(self.active) < self.threads and self.queue:
-            self._activate(self.queue.popleft())
+            job = self._pop_ready()
+            if job is None:
+                break
+            self._activate(job)
         if self.provider is not None:
-            while len(self.active) < self.threads and not self.queue:
+            while len(self.active) < self.threads and not self._queue_ready():
                 job = self.provider()
                 if job is None:
                     break
@@ -179,6 +312,7 @@ class BackgroundPool:
             self.active.remove(job)
         job.state = DONE
         self.completed_jobs += 1
+        self.failed_streak = 0
         if self.tracer.enabled:
             # The end mirrors the begin's id; on_complete runs after so any
             # follow-up submissions trace strictly inside causal order.
@@ -208,7 +342,11 @@ class BackgroundPool:
                 # Jobs holding the threads must finish before ours activates.
                 elapsed += self._drain_one(self.active[0])
             else:
-                raise InvariantViolation(f"job {job.name} pending but no thread busy")
+                slept = self._sleep_until_ready()
+                if slept is None:
+                    raise InvariantViolation(
+                        f"job {job.name} pending but no thread busy")
+                elapsed += slept
         if elapsed > 0.0:
             why = reason if reason is not None else f"wait:{job.name}"
             if self.metrics is not None:
@@ -225,7 +363,11 @@ class BackgroundPool:
             self._fill_threads()
             if not self.active:
                 if self.queue:
-                    raise InvariantViolation("queued jobs but no free thread")
+                    slept = self._sleep_until_ready()
+                    if slept is None:
+                        raise InvariantViolation("queued jobs but no free thread")
+                    elapsed += slept
+                    continue
                 return elapsed
             elapsed += self._drain_one(self.active[0])
 
@@ -238,6 +380,12 @@ class BackgroundPool:
                 self._fill_threads()
                 if self.active:
                     elapsed += self._drain_one(self.active[0])
+                elif self.queue:
+                    slept = self._sleep_until_ready()
+                    if slept is None:
+                        raise InvariantViolation(
+                            "queued jobs but no free thread")
+                    elapsed += slept
         finally:
             self.provider = provider
         return elapsed
@@ -250,8 +398,39 @@ class BackgroundPool:
         """
         self._fill_threads()
         if not self.active:
-            return 0.0
+            slept = self._sleep_until_ready()
+            if slept is None:
+                return 0.0
+            self._fill_threads()
+            if not self.active:
+                return slept
+            return slept + self._drain_one(self.active[0])
         return self._drain_one(self.active[0])
+
+    # --------------------------------------------------------------- crashing
+    def abandon_all(self) -> int:
+        """Hard-crash model: drop every in-flight and queued job on the floor.
+
+        Active jobs have already applied their structural effect; the caller
+        (``IamDB.crash_and_recover``) rolls that back by restoring the last
+        manifest checkpoint.  Synthetic span ends keep the tracer balanced
+        for jobs whose begin was already emitted.  Returns the number of
+        jobs abandoned.
+        """
+        n = len(self.active) + len(self.queue)
+        for job in self.active:
+            job.state = DONE
+            job.failed = True
+            job.debt_s = 0.0
+            if self.tracer.enabled:
+                self.tracer.end("job", job.name, job.job_id, aborted=True)
+        for job in self.queue:
+            job.state = DONE
+            job.failed = True
+        self.active.clear()
+        self.queue.clear()
+        self.failed_streak = 0
+        return n
 
     def _drain_one(self, job: BackgroundJob) -> float:
         elapsed = self.disk.sync_drain(job.debt_s)

@@ -33,7 +33,16 @@ class Manifest:
         return self.runtime.disk.fg_stream(nbytes_write=EDIT_BYTES)
 
     def checkpoint(self, state: Any) -> None:
-        """Store the engine's durable structure snapshot."""
+        """Store the engine's durable structure snapshot.
+
+        ``state`` must be an *owned* snapshot -- pure data, no references to
+        live engine structure.  The manifest stores it verbatim; if a caller
+        hands over live objects, post-checkpoint mutations would leak into
+        what :meth:`restore` returns and recovery would see a future it
+        should not know about.  Engines honour this by returning pure-data
+        snapshots from ``checkpoint_state()`` (tuples of block metadata, not
+        node/table objects); ``tests/test_wal_manifest.py`` pins it down.
+        """
         self._checkpoint = state
 
     def restore(self) -> Optional[Any]:
@@ -43,3 +52,7 @@ class Manifest:
     @property
     def nbytes(self) -> int:
         return self._file.nbytes
+
+    @property
+    def file_id(self) -> int:
+        return self._file.file_id

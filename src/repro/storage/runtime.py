@@ -24,6 +24,9 @@ from repro.storage.pagecache import PageCache
 from repro.storage.simdisk import SimClock, SimDisk, SimFile
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.common.options import FaultOptions
+    from repro.faults.crash import CrashPoints
+    from repro.faults.plan import FaultInjector
     from repro.obs.sampler import TimeseriesSampler
     from repro.obs.tracer import Tracer
 
@@ -47,6 +50,10 @@ class Runtime:
         #: Trace sink; NULL_TRACER until :meth:`attach_tracer` swaps it.
         self.tracer: NullTracer = NULL_TRACER
         self._sampler: Optional["TimeseriesSampler"] = None
+        #: Fault injector; None until :meth:`attach_faults` wires one in.
+        self.faults: Optional["FaultInjector"] = None
+        #: Crash-point scheduler; None until :meth:`arm_crash_points`.
+        self.crash_points: Optional["CrashPoints"] = None
 
     # ---------------------------------------------------------- observability
     def attach_tracer(self, tracer: "Tracer") -> None:
@@ -62,6 +69,28 @@ class Runtime:
     def attach_sampler(self, sampler: "TimeseriesSampler") -> None:
         """Drive ``sampler`` from this runtime's per-operation pump."""
         self._sampler = sampler
+
+    # -------------------------------------------------------- fault injection
+    def attach_faults(self, options: "FaultOptions") -> "FaultInjector":
+        """Arm deterministic transient-fault injection on this stack.
+
+        Wires one :class:`~repro.faults.plan.FaultInjector` into both the
+        device (foreground I/O retry loop) and the background pool (job
+        activation faults).  Idempotent per options object; returns the
+        injector for inspection.
+        """
+        from repro.faults.plan import FaultInjector
+
+        injector = FaultInjector(options, self)
+        self.faults = injector
+        self.disk.faults = injector
+        self.pool.injector = injector
+        return injector
+
+    def arm_crash_points(self, crash_points: Optional["CrashPoints"]) -> None:
+        """Install (or clear, with None) the crash-point scheduler."""
+        self.crash_points = crash_points
+        self.pool.crash_points = crash_points
 
     # --------------------------------------------------------------- lifecycle
     @property

@@ -76,6 +76,9 @@ class SimDisk:
         self.busy_until = 0.0
         self.files: Dict[int, SimFile] = {}
         self._next_file_id = 1
+        #: Optional fault injector (repro.faults.plan.FaultInjector); when set,
+        #: every foreground request first runs its retry loop.
+        self.faults: Optional[object] = None
         #: Total live bytes across all files (space-usage numerator).
         self.live_bytes = 0
         # Device counters.
@@ -129,6 +132,8 @@ class SimDisk:
 
         Returns the elapsed simulated time (queueing delay + service).
         """
+        if self.faults is not None:
+            self.faults.on_foreground_io(self)  # type: ignore[attr-defined]
         service = self.io_time(nbytes_read=nbytes_read, nbytes_write=nbytes_write, seeks=seeks)
         start = max(self.clock.now, self.busy_until)
         end = start + service
@@ -149,6 +154,8 @@ class SimDisk:
         gates (slowdown / stop / memtable rotation), which is where the
         paper's bursts and stalls originate (§6.2).
         """
+        if self.faults is not None:
+            self.faults.on_foreground_io(self)  # type: ignore[attr-defined]
         service = self.io_time(nbytes_read=nbytes_read, nbytes_write=nbytes_write)
         self.clock.now += service
         self._count(nbytes_read, nbytes_write, 0)

@@ -7,7 +7,14 @@ amplification numbers exclude the log (§6.2).
 
 The log's *content* (the record tuples) survives a simulated crash -- it is
 the durable source for recovery (:mod:`repro.db.recovery`).  After a memtable
-flush becomes durable, the covered prefix is truncated.
+flush becomes durable, the covered prefix is truncated; the surviving suffix
+is rewritten into a fresh file and that rewrite is charged like any other
+WAL write (device time + ``add_wal_bytes``), as LevelDB's log rotation does.
+
+A *torn tail* (``tear``) models the crash-time loss of un-synced records:
+the kept prefix always snaps down to a group-commit boundary, so a batch is
+either wholly present or wholly absent after recovery -- the durability
+contract asserted by the crash-point matrix (:mod:`repro.faults.crash`).
 """
 
 from __future__ import annotations
@@ -26,11 +33,18 @@ class WriteAheadLog:
         self.key_size = key_size
         self._file = runtime.create_file()
         self._records: List[RecordTuple] = []
+        #: Record-count positions of group-commit boundaries: after each
+        #: append/append_many the current length is a consistent cut.
+        self._bounds: List[int] = []
         self.appended_records = 0
 
     @property
     def nbytes(self) -> int:
         return self._file.nbytes
+
+    @property
+    def file_id(self) -> int:
+        return self._file.file_id
 
     def __len__(self) -> int:
         return len(self._records)
@@ -39,6 +53,7 @@ class WriteAheadLog:
         """Append one record; returns the foreground write latency."""
         nbytes = encoded_size(rec, self.key_size)
         self._records.append(rec)
+        self._bounds.append(len(self._records))
         self._file.grow(nbytes)
         self.runtime.metrics.add_wal_bytes(nbytes)
         self.appended_records += 1
@@ -52,24 +67,64 @@ class WriteAheadLog:
             return 0.0
         nbytes = sum(encoded_size(r, self.key_size) for r in recs)
         self._records.extend(recs)
+        self._bounds.append(len(self._records))
         self._file.grow(nbytes)
         self.runtime.metrics.add_wal_bytes(nbytes)
         self.appended_records += len(recs)
         return self.runtime.disk.fg_stream(nbytes_write=nbytes)
 
-    def truncate_through(self, seq: int) -> None:
+    def truncate_through(self, seq: int) -> float:
         """Discard log entries with sequence numbers <= ``seq``.
 
         Called once a memtable flush covering those records is durable.  The
         old log file is released and a fresh one started, as LevelDB does.
+        The surviving suffix is *rewritten* into the fresh file, and that
+        rewrite is charged (device time and WAL bytes) -- it is real I/O,
+        not free.  Returns the foreground latency of the rewrite.
         """
-        self._records = [r for r in self._records if r[SEQ] > seq]
+        dropped = 0
+        while dropped < len(self._records) and self._records[dropped][SEQ] <= seq:
+            dropped += 1
+        self._records = self._records[dropped:]
+        self._bounds = [b - dropped for b in self._bounds if b > dropped]
+        old = self._file
+        self._file = self.runtime.create_file()
+        remaining = sum(encoded_size(r, self.key_size) for r in self._records)
+        latency = 0.0
+        if remaining:
+            self._file.grow(remaining)
+            self.runtime.metrics.add_wal_bytes(remaining)
+            latency = self.runtime.disk.fg_stream(nbytes_write=remaining)
+        self.runtime.delete_file(old)
+        return latency
+
+    def tear(self, drop_records: int) -> int:
+        """Crash model: lose up to ``drop_records`` un-synced tail records.
+
+        The keep-point snaps *down* to the last group-commit boundary, so no
+        batch is ever half-lost.  No I/O is charged -- nothing is written at
+        crash time; the surviving prefix simply moves to a fresh file (space
+        accounting only).  Returns the number of records actually dropped.
+        """
+        if drop_records <= 0 or not self._records:
+            return 0
+        want_keep = max(0, len(self._records) - drop_records)
+        keep = 0
+        for b in self._bounds:
+            if b <= want_keep:
+                keep = b
+            else:
+                break
+        dropped = len(self._records) - keep
+        self._records = self._records[:keep]
+        self._bounds = [b for b in self._bounds if b <= keep]
         old = self._file
         self._file = self.runtime.create_file()
         remaining = sum(encoded_size(r, self.key_size) for r in self._records)
         if remaining:
             self._file.grow(remaining)
         self.runtime.delete_file(old)
+        return dropped
 
     def replay(self) -> List[RecordTuple]:
         """Records that survive a crash (ordered by append time)."""

@@ -115,6 +115,35 @@ class MSTable:
             self.deleted = True
             self.runtime.delete_file(self.file)
 
+    # --------------------------------------------------------------- recovery
+    def snapshot(self) -> Tuple[int, int, int, Tuple[Sequence, ...]]:
+        """Owned pure-data snapshot for manifest checkpoints.
+
+        Sequences are immutable once built, so sharing them by reference is
+        safe; the tuple pins the sequence *list* (the mutable part) and the
+        layout cursor.  No file/node references leak out.
+        """
+        return (self.key_size, self.bloom_bits_per_key, self.next_block,
+                tuple(self.sequences))
+
+    @staticmethod
+    def from_snapshot(runtime: Runtime,
+                      snap: Tuple[int, int, int, Tuple[Sequence, ...]]) -> "MSTable":
+        """Rebuild a table from a :meth:`snapshot` onto a fresh file.
+
+        Space accounting only -- recovery re-opens tables, it does not
+        rewrite them -- and the fresh file starts cache-cold.
+        """
+        key_size, bloom_bits, next_block, sequences = snap
+        table = MSTable(runtime, key_size=key_size,
+                        bloom_bits_per_key=bloom_bits)
+        table.sequences = list(sequences)
+        table.next_block = next_block
+        nbytes = sum(s.nbytes + s.metadata_bytes for s in sequences)
+        if nbytes:
+            table.file.grow(nbytes)
+        return table
+
     # ---------------------------------------------------------------- reading
     def get(self, key: Key,
             snapshot: Optional[int] = None) -> Tuple[Optional[RecordTuple], float]:

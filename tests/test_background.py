@@ -159,3 +159,40 @@ def test_pump_respects_lookahead():
     pool.pump()
     assert pool.pending_debt_s == pytest.approx(10.0 - 0.25)
     assert disk.busy_until == pytest.approx(0.25)
+
+
+def test_high_priority_fifo_within_class():
+    # Regression: appendleft-style insertion ran queued flushes LIFO -- a
+    # later memtable flushing before an earlier one.  High-priority jobs
+    # must stay FIFO among themselves (ahead of normal jobs).
+    disk, pool = make_pool(threads=1)
+    ran = []
+    pool.submit("long", lambda: ran.append("long") or 50.0)
+    pool.submit("compact", lambda: ran.append("compact") or 1.0)
+    pool.submit("flush1", lambda: ran.append("flush1") or 1.0, high_priority=True)
+    pool.submit("flush2", lambda: ran.append("flush2") or 1.0, high_priority=True)
+    disk.clock.now = 1000.0
+    pool.pump()
+    assert ran == ["long", "flush1", "flush2", "compact"]
+
+
+def test_high_priority_fifo_under_drain():
+    disk, pool = make_pool(threads=1)
+    ran = []
+    blocker = pool.submit("blocker", lambda: 10.0)
+    for n in ("f1", "f2", "f3"):
+        pool.submit(n, lambda n=n: ran.append(n) or 0.0, high_priority=True)
+    pool.wait_for(blocker)
+    pool.drain_all()
+    assert ran == ["f1", "f2", "f3"]
+
+
+def test_abandon_all_clears_pool():
+    disk, pool = make_pool(threads=1)
+    a = pool.submit("a", lambda: 5.0)
+    b = pool.submit("b", lambda: 5.0)
+    n = pool.abandon_all()
+    assert n == 2
+    assert a.done and a.failed and b.done and b.failed
+    assert not pool.active and not pool.queue
+    assert pool.pending_debt_s == 0.0

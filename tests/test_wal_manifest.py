@@ -87,3 +87,95 @@ def test_manifest_edit_accounting(runtime):
     m.log_edit()
     assert m.edits == 2
     assert m.nbytes == 2 * EDIT_BYTES
+
+
+def test_truncate_charges_suffix_rewrite(runtime):
+    # Regression: the suffix rewrite used to be free I/O -- bytes moved to a
+    # fresh file with no device time and no WAL-byte accounting.
+    wal = WriteAheadLog(runtime, KEY_SIZE)
+    for seq in range(1, 6):
+        wal.append(make_put(seq, seq, 10))
+    bytes_before = runtime.metrics.wal_bytes
+    ops_before = runtime.disk.write_ops
+    clock_before = runtime.clock.now
+    lat = wal.truncate_through(3)
+    remaining = sum(encoded_size(r, KEY_SIZE) for r in wal.replay())
+    assert remaining > 0
+    assert lat > 0.0
+    assert runtime.clock.now == pytest.approx(clock_before + lat)
+    assert runtime.metrics.wal_bytes == bytes_before + remaining
+    assert runtime.disk.write_ops == ops_before + 1
+
+
+def test_truncate_to_empty_charges_nothing(runtime):
+    wal = WriteAheadLog(runtime, KEY_SIZE)
+    for seq in range(1, 4):
+        wal.append(make_put(seq, seq, 10))
+    bytes_before = runtime.metrics.wal_bytes
+    clock_before = runtime.clock.now
+    assert wal.truncate_through(3) == 0.0
+    assert runtime.metrics.wal_bytes == bytes_before
+    assert runtime.clock.now == clock_before
+    assert wal.replay() == []
+
+
+def test_tear_snaps_to_group_commit_boundary(runtime):
+    wal = WriteAheadLog(runtime, KEY_SIZE)
+    wal.append(make_put(1, 1, 10))
+    wal.append(make_put(2, 2, 10))
+    wal.append_many([make_put(10 + i, 3 + i, 10) for i in range(4)])  # seqs 3-6
+    # Tearing one record may not split the batch: the whole group goes.
+    dropped = wal.tear(1)
+    assert dropped == 4
+    assert [r[1] for r in wal.replay()] == [1, 2]
+
+
+def test_tear_is_uncharged_and_bounded(runtime):
+    wal = WriteAheadLog(runtime, KEY_SIZE)
+    for seq in range(1, 6):
+        wal.append(make_put(seq, seq, 10))
+    bytes_before = runtime.metrics.wal_bytes
+    clock_before = runtime.clock.now
+    assert wal.tear(0) == 0
+    assert wal.tear(100) == 5  # over-asking drops everything there is
+    assert wal.replay() == []
+    assert wal.tear(1) == 0  # nothing left
+    assert runtime.metrics.wal_bytes == bytes_before  # crash writes nothing
+    assert runtime.clock.now == clock_before
+    assert wal.nbytes == 0
+
+
+def test_tear_then_append_keeps_boundaries(runtime):
+    wal = WriteAheadLog(runtime, KEY_SIZE)
+    wal.append_many([make_put(i, 1 + i, 10) for i in range(3)])  # seqs 1-3
+    wal.append(make_put(9, 4, 10))
+    wal.tear(1)  # drops seq 4, keeps the batch
+    wal.append(make_put(10, 4, 10))  # reissued seq
+    assert wal.tear(1) == 1  # the new record tears off alone
+    assert [r[1] for r in wal.replay()] == [1, 2, 3]
+
+
+def test_manifest_checkpoint_is_immune_to_later_mutation():
+    # The checkpoint contract: engines hand over *owned* pure-data
+    # snapshots, so structural churn after the checkpoint must not leak
+    # into what restore() returns.
+    from tests.conftest import make_tiny_db
+
+    db = make_tiny_db("iam")
+    for i in range(400):
+        db.put(i % 150, 40)
+    db.flush()
+
+    def shape(state):
+        nodes = []
+        for level in state["engine"]["levels"]:
+            nodes.append([(lo, hi, None if snap is None else
+                           (snap[2], len(snap[3]))) for lo, hi, snap in level])
+        return (state["seq"], state["engine"]["n"], nodes)
+
+    held = db.manifest.restore()
+    before = shape(held)
+    for i in range(3000):  # splits, combines, merges, more checkpoints
+        db.put((i * 7) % 800, 40)
+    db.quiesce()
+    assert shape(held) == before
