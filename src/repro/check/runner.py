@@ -9,6 +9,11 @@ Runs the three correctness gates in order and reports one status line each:
 3. **sanitizer** -- a smoke workload (mixed puts/deletes/reads/scans, an
    explicit flush and a crash/recovery cycle) on the IAM and LSA engines with
    the runtime sanitizer collecting violations.
+4. **cluster** -- a tiny sharded/replicated cluster run (mixed ops, a forced
+   leader failover, a forced shard split) with the cluster invariant catalog
+   (:mod:`repro.cluster.invariants`) checked throughout: shard ranges tile
+   the key space exactly, acked writes sit on a quorum, and no file is owned
+   by two live replicas after a rebalance.
 
 Exit status is 0 only when no gate FAILs (SKIP does not fail the run).
 """
@@ -94,6 +99,77 @@ def _run_sanitizer_smoke(args: argparse.Namespace) -> "tuple[bool, str]":
     return True, detail
 
 
+def _run_cluster_smoke(args: argparse.Namespace) -> "tuple[bool, str]":
+    """Tiny sharded run exercising the cluster invariant catalog.
+
+    Mixed ops against a 3-shard/2-replica cluster checked against a model
+    dict, with one forced leader failover and one forced shard split; the
+    invariant catalog runs every 100 ops and after each structural event.
+    """
+    from repro.cluster import ClusterDB, ClusterOptions
+    from repro.cluster.invariants import check_cluster_invariants
+    from repro.common.errors import InvariantViolation
+    from repro.common.options import IamOptions, SSD, StorageOptions
+
+    opts = IamOptions(node_capacity=2048, fanout=3, key_size=8,
+                      bloom_bits_per_key=14, retune_interval=2)
+    storage = StorageOptions(device=SSD, page_cache_bytes=16 * 1024,
+                             block_size=256)
+    cluster = ClusterDB(ClusterOptions(
+        n_shards=3, n_replicas=2, engine_options=opts,
+        storage_options=storage))
+    rng = random.Random(args.seed)
+    keys = [rng.randrange(2 ** 64) for _ in range(256)]
+    model: "dict[int, int]" = {}
+    checks = 0
+    failures: List[str] = []
+    try:
+        for i in range(700):
+            key = keys[rng.randrange(len(keys))]
+            roll = rng.random()
+            if roll < 0.6:
+                value = 32 + (i % 64)
+                cluster.put(key, value)
+                model[key] = value
+            elif roll < 0.7:
+                cluster.delete(key)
+                model.pop(key, None)
+            else:
+                got = cluster.get(key)
+                want = model.get(key)
+                if got != want:
+                    raise InvariantViolation(
+                        f"cluster read {key:#x}: got {got}, want {want}")
+            if i == 350:
+                cluster.crash_leader(1)
+                check_cluster_invariants(cluster)
+                checks += 1
+            if i % 100 == 99:
+                check_cluster_invariants(cluster)
+                checks += 1
+        fattest = max(cluster.router.shards, key=lambda s: s.data_bytes())
+        cluster.rebalancer.split(fattest)
+        check_cluster_invariants(cluster)
+        checks += 1
+        for key, want in sorted(model.items()):
+            if cluster.get(key) != want:
+                raise InvariantViolation(
+                    f"post-split read {key:#x} diverged from model")
+        cluster.quiesce()
+        cluster.check_invariants()
+        checks += 1
+    except InvariantViolation as exc:
+        failures.append(str(exc))
+    n_shards = len(cluster.router.shards)
+    n_failovers = len(cluster.failover_reports)
+    cluster.close()
+    detail = (f"{checks} invariant sweeps, {n_shards} shards, "
+              f"{n_failovers} failover(s), {len(model)} live keys")
+    if failures:
+        return False, "\n".join(failures + [detail])
+    return True, detail
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro check",
@@ -107,8 +183,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--skip-lint", action="store_true")
     p.add_argument("--skip-types", action="store_true")
     p.add_argument("--skip-sanitizer", action="store_true")
+    p.add_argument("--skip-cluster", action="store_true")
     p.add_argument("--seed", type=int, default=0xC0FFEE,
-                   help="seed of the sanitizer smoke workload")
+                   help="seed of the sanitizer and cluster smoke workloads")
     return p
 
 
@@ -157,6 +234,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             failed = True
             print(detail)
             print("sanitizer  FAIL")
+
+    if args.skip_cluster:
+        print("cluster    SKIP (--skip-cluster)")
+    else:
+        ok, detail = _run_cluster_smoke(args)
+        if ok:
+            print(f"cluster    PASS ({detail})")
+        else:
+            failed = True
+            print(detail)
+            print("cluster    FAIL")
 
     return 1 if failed else 0
 

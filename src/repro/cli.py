@@ -6,6 +6,7 @@ Commands
 ``load``         hash-load records into an engine and report WA/throughput
 ``fillseq``      sequential load
 ``ycsb``         run a YCSB workload (A-G) on a freshly loaded store
+``cluster``      run a workload on a sharded, replicated multi-node cluster
 ``trace``        run a workload with sim-time tracing; export + summarize
 ``compare``      run one load across several engines side by side
 ``experiment``   regenerate a paper table/figure via the bench harness
@@ -37,6 +38,9 @@ Examples
     python -m repro check --list-rules
     python -m repro load --records 20000 --faults rate=0.01,seed=7
     python -m repro faults --ops 300 --per-site 1 --out fault-matrix.json
+    python -m repro cluster ycsb --shards 4 --replicas 2 --workload A
+    python -m repro cluster ycsb --shards 4 --replicas 2 \
+        --faults kill=1:2000,rate=0.001,seed=7 --trace cluster.json --validate
 """
 
 from __future__ import annotations
@@ -62,17 +66,20 @@ ENGINES = ("iam", "lsa", "leveldb", "rocksdb", "flsm", "lsmtrie")
 SETUPS = {"ssd-100g": SSD_100G, "hdd-100g": HDD_100G, "hdd-1t": HDD_1T}
 
 
+def _engine_options(engine: str, threads: int):
+    if engine in ("iam", "lsa"):
+        return IamOptions(key_size=KEY_SIZE, background_threads=threads)
+    if engine == "lsmtrie":
+        return LsaOptions(key_size=KEY_SIZE, background_threads=threads)
+    if engine == "rocksdb":
+        return LsmOptions.rocksdb(key_size=KEY_SIZE, background_threads=threads)
+    return LsmOptions.leveldb(key_size=KEY_SIZE, background_threads=threads)
+
+
 def _build_db(engine: str, device: str, memory_mb: float, threads: int) -> IamDB:
     dev = HDD if device == "hdd" else SSD
     storage = StorageOptions(device=dev, page_cache_bytes=int(memory_mb * 1e6))
-    if engine in ("iam", "lsa"):
-        opts = IamOptions(key_size=KEY_SIZE, background_threads=threads)
-    elif engine == "lsmtrie":
-        opts = LsaOptions(key_size=KEY_SIZE, background_threads=threads)
-    elif engine == "rocksdb":
-        opts = LsmOptions.rocksdb(key_size=KEY_SIZE, background_threads=threads)
-    else:
-        opts = LsmOptions.leveldb(key_size=KEY_SIZE, background_threads=threads)
+    opts = _engine_options(engine, threads)
     return IamDB(engine, engine_options=opts, storage_options=storage)
 
 
@@ -294,6 +301,117 @@ def cmd_faults(args) -> int:
     return 1 if report["n_failures"] else 0
 
 
+def cmd_cluster(args) -> int:
+    """Sharded, replicated cluster run: load (+ optional YCSB), full report."""
+    import json
+    from repro.cluster import (
+        ClusterDB,
+        ClusterOptions,
+        NetworkOptions,
+        RebalanceOptions,
+        attach_cluster_trace,
+        parse_cluster_fault_spec,
+    )
+    from repro.common.errors import InvariantViolation
+    from repro.obs import validate_chrome_trace
+    _apply_sanitize(args)
+    dev = HDD if args.device == "hdd" else SSD
+    storage = StorageOptions(
+        device=dev,
+        page_cache_bytes=max(1, int(args.memory_mb * 1e6 / args.shards)))
+    net_kwargs = {}
+    if args.net_latency_us is not None:
+        net_kwargs["latency_s"] = args.net_latency_us * 1e-6
+    if args.net_bandwidth_mb is not None:
+        net_kwargs["bandwidth"] = args.net_bandwidth_mb * 1e6
+    rebalance = (RebalanceOptions(
+        split_threshold_bytes=int(args.split_mb * 1e6))
+        if args.split_mb else RebalanceOptions())
+    cluster = ClusterDB(ClusterOptions(
+        n_shards=args.shards, n_replicas=args.replicas, engine=args.engine,
+        engine_options=_engine_options(args.engine, args.threads),
+        storage_options=storage, network=NetworkOptions(**net_kwargs),
+        rebalance=rebalance))
+    session = attach_cluster_trace(cluster) if args.trace or args.validate \
+        else None
+    if args.faults:
+        from repro.faults.plan import parse_fault_spec
+        dev_spec, kills = parse_cluster_fault_spec(args.faults)
+        cluster.arm_faults(
+            parse_fault_spec(dev_spec) if dev_spec else None, kills)
+    rep = hash_load(cluster, args.records, quiesce=False)
+    if args.mode == "ycsb":
+        spec = YCSB_WORKLOADS[args.workload.upper()]
+        rep = run_ycsb(cluster, spec, args.ops, args.records,
+                       clients=args.clients)
+    cluster.quiesce()
+    rc = 0
+    try:
+        cluster.check_invariants()
+    except InvariantViolation as exc:
+        print(f"CLUSTER INVARIANT: {exc}", file=sys.stderr)
+        rc = 1
+    stats = cluster.stats()
+    what = (f"YCSB-{args.workload.upper()}" if args.mode == "ycsb"
+            else "hash load")
+    print(f"cluster {what} on {args.engine} x{stats['n_shards']} shards "
+          f"x{args.replicas} replicas ({args.device}): "
+          f"{rep.throughput:,.0f} ops/s over "
+          f"{rep.sim_seconds * 1e3:.2f} sim-ms")
+    rows = []
+    for row in stats["shards"]:
+        rows.append([
+            row["shard_id"], row["leader_node"], row["replicas"],
+            row["writes_routed"], row["reads_routed"], row["scans_routed"],
+            round(row["data_bytes"] / 1e6, 2), row["acked_seq"],
+            row["failovers"],
+        ])
+    print()
+    print(format_table(
+        ["shard", "leader", "repl", "writes", "reads", "scans",
+         "MB", "acked", "failovers"],
+        rows, title="per-shard"))
+    imb = stats["load_imbalance"]
+    print(f"\nimbalance: ops max/mean={imb['ops_max_over_mean']:.2f} "
+          f"bytes max/mean={imb['bytes_max_over_mean']:.2f}")
+    net = stats["network"]
+    print(f"network: {net['messages']} messages, "
+          f"{net['bytes_sent'] / 1e6:.2f} MB shipped")
+    reb = stats["rebalance"]
+    print(f"rebalance: {reb['splits']} splits, {reb['merges']} merges, "
+          f"{reb['moved_bytes'] / 1e6:.2f} MB moved")
+    for op, digest in sorted(stats["tail_latency"].items()):
+        print(f"  {op:>7}: n={digest['count']:>7.0f} "
+              f"p50={digest['p50'] * 1e6:9.1f}us "
+              f"p99={digest['p99'] * 1e6:9.1f}us "
+              f"max={digest['max'] * 1e3:9.2f}ms")
+    for report in stats["failovers"]:
+        print(f"failover: shard {report['shard']} node "
+              f"{report['dead_node']} -> {report['promoted_node']} "
+              f"(acked {report['acked_seq']}, recovered "
+              f"{report['recovered_seq']})")
+    if session is not None:
+        if args.validate:
+            problems = validate_chrome_trace(session.to_chrome())
+            if problems:
+                for p in problems:
+                    print(f"TRACE SCHEMA: {p}", file=sys.stderr)
+                rc = 1
+            else:
+                print("trace schema ok")
+        if args.trace:
+            session.write_chrome(args.trace)
+            print(f"wrote cluster trace to {args.trace}")
+        print()
+        print(session.summary())
+    if args.report:
+        with open(args.report, "w") as fh:
+            fh.write(json.dumps(stats, sort_keys=True, separators=(",", ":")))
+        print(f"wrote cluster report to {args.report}")
+    cluster.close()
+    return rc
+
+
 def cmd_info(args) -> int:
     from repro.bench.scale import RECORD_BYTES, scale_factor
     print(f"REPRO_SCALE = {scale_factor()}")
@@ -410,6 +528,46 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--out", metavar="PATH", default=None,
                     help="write the JSON report to PATH")
     sp.set_defaults(fn=cmd_faults)
+
+    sp = sub.add_parser(
+        "cluster",
+        help="run a workload on a sharded, replicated multi-node cluster")
+    sp.add_argument("mode", choices=("load", "ycsb"),
+                    help="hash-load only, or hash-load then a YCSB phase")
+    sp.add_argument("--shards", type=int, default=4)
+    sp.add_argument("--replicas", type=int, default=2,
+                    help="copies per shard, leader included")
+    sp.add_argument("--workload", choices=list("ABCDEFG") + list("abcdefg"),
+                    default="A", help="YCSB workload for the ycsb mode")
+    sp.add_argument("--ops", type=int, default=3000,
+                    help="YCSB operations after the load phase")
+    sp.add_argument("--clients", type=int, default=1,
+                    help="deterministically interleaved YCSB client streams")
+    sp.add_argument("--engine", choices=ENGINES, default="iam")
+    sp.add_argument("--device", choices=("ssd", "hdd"), default="ssd")
+    sp.add_argument("--records", type=int, default=30_000)
+    sp.add_argument("--memory-mb", type=float,
+                    default=SSD_100G.memory_bytes / 1e6,
+                    help="total cluster memory, split evenly across shards")
+    sp.add_argument("--threads", type=int, default=1)
+    sp.add_argument("--net-latency-us", type=float, default=None,
+                    help="per-message link latency in microseconds")
+    sp.add_argument("--net-bandwidth-mb", type=float, default=None,
+                    help="per-link bandwidth in MB/s")
+    sp.add_argument("--split-mb", type=float, default=0.0,
+                    help="split a shard when its data exceeds this many MB")
+    sp.add_argument("--sanitize", action="store_true",
+                    help="attach the runtime sanitizer to every replica")
+    sp.add_argument("--faults", metavar="SPEC", default=None,
+                    help="device faults plus scheduled leader kills, e.g. "
+                         "kill=1:2000,rate=0.001,seed=7")
+    sp.add_argument("--trace", metavar="PATH", default=None,
+                    help="write the merged cluster Chrome trace to PATH")
+    sp.add_argument("--validate", action="store_true",
+                    help="validate the merged Chrome trace schema")
+    sp.add_argument("--report", metavar="PATH", default=None,
+                    help="write the deterministic JSON cluster report")
+    sp.set_defaults(fn=cmd_cluster)
 
     sp = sub.add_parser("info", help="print the scaled configuration")
     sp.set_defaults(fn=cmd_info)

@@ -1,0 +1,386 @@
+"""The cluster facade: an :class:`IamDB`-shaped front end over many shards.
+
+:class:`ClusterDB` duck-types the single-node DB surface the workload
+front-end consumes (``put/get/delete/scan``, ``metrics``, ``runtime.clock``,
+``engine.name``, the amplification/space inspectors), so ``hash_load`` and
+``run_ycsb`` drive a 16-node cluster exactly like one store.  Underneath,
+every operation routes through :class:`~repro.cluster.router.Router` over
+the simulated network to range-partitioned shards, each a replicated group
+of full DBs on their own disks -- all sharing one :class:`SimClock`, so
+network transfer, WAL appends, flushes and compactions across every node
+interleave on a single deterministic timeline.
+
+Determinism contract: the cluster report (:meth:`ClusterDB.stats`) is a
+pure function of (options, workload, seed) -- two identical runs produce
+byte-identical JSON.  Nothing in this package reads a wall clock or an
+unseeded RNG.
+
+**Acked-write audit**: the cluster remembers the last acked value of a
+bounded window of recently written keys.  When a fault plan kills a leader
+(:meth:`crash_leader`), the promoted follower is immediately audited: every
+remembered acked write owned by that shard must read back exactly; a
+mismatch raises :class:`InvariantViolation` (the "zero acked-write loss"
+acceptance gate).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.cluster.network import NetworkOptions, SimNetwork
+from repro.cluster.rebalance import RebalanceOptions, Rebalancer
+from repro.cluster.replica import LeaderKill, Replica, ReplicaGroup
+from repro.cluster.router import Router
+from repro.cluster.shard import Shard, even_ranges
+from repro.common.errors import ConfigError, InvariantViolation, StoreClosedError
+from repro.common.options import FaultOptions, StorageOptions
+from repro.common.records import Key, Value
+from repro.db.iamdb import IamDB
+from repro.metrics import MetricsRegistry, merge_snapshots
+from repro.obs.tracer import NULL_TRACER, NullTracer
+from repro.storage.simdisk import SimClock
+
+#: Recently acked writes remembered for the failover audit (per cluster).
+AUDIT_WINDOW = 256
+
+#: Salt for deriving per-replica fault seeds from the base seed: every node
+#: sees an independent (but reproducible) transient-fault sequence.
+_FAULT_SEED_SALT = 7919
+
+
+@dataclass(frozen=True)
+class ClusterOptions:
+    """Topology + substrate configuration of one simulated cluster."""
+
+    n_shards: int = 4
+    #: Copies per shard, leader included.
+    n_replicas: int = 2
+    engine: str = "iam"
+    engine_options: Any = None
+    storage_options: Optional[StorageOptions] = None
+    network: NetworkOptions = field(default_factory=NetworkOptions)
+    rebalance: RebalanceOptions = field(default_factory=RebalanceOptions)
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ConfigError("n_shards must be >= 1")
+        if self.n_replicas < 1:
+            raise ConfigError("n_replicas must be >= 1")
+
+
+class _ClusterRuntime:
+    """Minimal runtime facade: the pieces reports read off ``db.runtime``."""
+
+    def __init__(self, clock: SimClock) -> None:
+        self.clock = clock
+
+
+class _ClusterEngine:
+    """Minimal engine facade: reports read ``db.engine.name``."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+
+class ClusterDB:
+    """A sharded, replicated store behind the single-node DB surface."""
+
+    def __init__(self, options: Optional[ClusterOptions] = None) -> None:
+        self.options = options if options is not None else ClusterOptions()
+        self.clock = SimClock()
+        self.network = SimNetwork(self.clock, self.options.network)
+        #: Cluster-tier metrics: routed-op latencies, router/failover events.
+        self.metrics = MetricsRegistry()
+        #: Cluster-tier tracer (router/replication/rebalance instants);
+        #: NULL_TRACER until a ClusterTraceSession attaches.
+        self.tracer: NullTracer = NULL_TRACER
+        self.runtime = _ClusterRuntime(self.clock)
+        self.engine = _ClusterEngine(f"cluster:{self.options.engine}")
+        self._next_node_id = 1
+        self._next_shard_id = 0
+        self._fault_options: Optional[FaultOptions] = None
+        self._kills: List[LeaderKill] = []
+        self._trace: Optional[Any] = None
+        self._ops = 0
+        self._closed = False
+        #: Last acked value per recently written key (failover audit window).
+        self._acked_audit: "OrderedDict[int, Optional[Value]]" = OrderedDict()
+        self.failover_reports: List[Dict[str, object]] = []
+        shards = [self._make_shard(lo, hi)
+                  for lo, hi in even_ranges(self.options.n_shards)]
+        self.router = Router(shards, self.network, self.metrics, self.tracer)
+        self.rebalancer = Rebalancer(self, self.options.rebalance)
+
+    # ------------------------------------------------------------- provisioning
+    def _make_shard(self, lo: int, hi: int) -> Shard:
+        """Provision a fresh replica group serving ``[lo, hi)``."""
+        o = self.options
+        replicas: List[Replica] = []
+        for _ in range(o.n_replicas):
+            node_id = self._next_node_id
+            self._next_node_id += 1
+            db = IamDB(o.engine, engine_options=o.engine_options,
+                       storage_options=o.storage_options, clock=self.clock)
+            if self._fault_options is not None:
+                db.runtime.attach_faults(replace(
+                    self._fault_options,
+                    seed=self._fault_options.seed + node_id * _FAULT_SEED_SALT))
+            replicas.append(Replica(node_id, db))
+        shard_id = self._next_shard_id
+        self._next_shard_id += 1
+        group = ReplicaGroup(shard_id, replicas, self.network)
+        shard = Shard(shard_id, lo, hi, group)
+        if self._trace is not None:
+            self._trace.on_new_leader(shard)
+        return shard
+
+    # ------------------------------------------------------------------ faults
+    def arm_faults(self, device_options: Optional[FaultOptions],
+                   kills: List[LeaderKill]) -> None:
+        """Arm transient device faults and/or scheduled leader kills.
+
+        Must run before the workload; transient faults attach to every
+        existing replica (and automatically to replicas provisioned later,
+        e.g. by splits) with a per-node derived seed.
+        """
+        self._kills = sorted(kills, key=lambda k: (k.at_op, k.shard))
+        if device_options is None or not device_options.enabled:
+            return
+        self._fault_options = device_options
+        for shard in self.router.shards:
+            for replica in shard.group.live_replicas():
+                replica.db.runtime.attach_faults(replace(
+                    device_options,
+                    seed=device_options.seed
+                    + replica.node_id * _FAULT_SEED_SALT))
+
+    def crash_leader(self, shard_index: int) -> Dict[str, object]:
+        """Kill the current leader of the shard at router position ``index``.
+
+        Promotes a follower via crash/recovery, then audits every remembered
+        acked write the shard owns against the new leader -- a lost acked
+        write raises :class:`InvariantViolation`.  With no live follower the
+        kill is skipped (recorded, not fatal): a 1-replica shard cannot
+        fail over.
+        """
+        shards = self.router.shards
+        if not 0 <= shard_index < len(shards):
+            raise ConfigError(
+                f"kill targets shard {shard_index}, cluster has "
+                f"{len(shards)}")
+        shard = shards[shard_index]
+        if len(shard.group.live_replicas()) < 2:
+            self.metrics.bump("failover:skipped")
+            report: Dict[str, object] = {"shard": shard.shard_id,
+                                         "skipped": "no live follower"}
+            self.failover_reports.append(report)
+            return report
+        report = shard.group.kill_leader()
+        if self._trace is not None:
+            self._trace.on_new_leader(shard)
+        audited = 0
+        for key in sorted(self._acked_audit):
+            if not shard.contains(key):
+                continue
+            want = self._acked_audit[key]
+            got = shard.group.get(key)
+            if got != want:
+                raise InvariantViolation(
+                    f"acked write lost across failover: shard "
+                    f"{shard.shard_id} key {key:#x} expected {want!r}, "
+                    f"read {got!r}")
+            audited += 1
+        report["audited_writes"] = audited
+        self.metrics.bump("failover")
+        if self.tracer.enabled:
+            self.tracer.instant("cluster", "failover", shard=shard.shard_id,
+                                promoted=report["promoted_node"],
+                                audited=audited)
+        self.failover_reports.append(report)
+        return report
+
+    # -------------------------------------------------------------- op routing
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StoreClosedError("operation on a closed ClusterDB")
+
+    def _begin_op(self) -> None:
+        self._check_open()
+        self._ops += 1
+        while self._kills and self._kills[0].at_op <= self._ops:
+            kill = self._kills.pop(0)
+            self.crash_leader(kill.shard)
+        if self._ops % self.options.rebalance.check_interval_ops == 0:
+            self.rebalancer.maybe_rebalance()
+
+    def _pump_all(self) -> None:
+        """Drain every node's background debt up to the shared clock."""
+        for shard in self.router.shards:
+            for replica in shard.group.live_replicas():
+                replica.db.runtime.pump()
+
+    def put(self, key: Key, value: Value) -> None:
+        self._begin_op()
+        t0 = self.clock.now
+        self.router.put(key, value)
+        self._remember_ack(key, value)
+        self._pump_all()
+        self.metrics.record_latency("insert", self.clock.now - t0)
+
+    def delete(self, key: Key) -> None:
+        self._begin_op()
+        t0 = self.clock.now
+        self.router.delete(key)
+        self._remember_ack(key, None)
+        self._pump_all()
+        self.metrics.record_latency("insert", self.clock.now - t0)
+
+    def get(self, key: Key) -> Optional[Value]:
+        self._begin_op()
+        t0 = self.clock.now
+        value = self.router.get(key)
+        self._pump_all()
+        self.metrics.record_latency("read", self.clock.now - t0)
+        return value
+
+    def scan(self, lo_key: Optional[Key] = None, hi_key: Optional[Key] = None,
+             *, limit: Optional[int] = None) -> List[Tuple[Key, object]]:
+        self._begin_op()
+        t0 = self.clock.now
+        rows = self.router.scan(lo_key, hi_key, limit=limit)
+        self._pump_all()
+        self.metrics.record_latency("scan", self.clock.now - t0)
+        return rows
+
+    def iterate(self, lo_key: Optional[Key] = None,
+                hi_key: Optional[Key] = None) -> Iterator[Tuple[Key, object]]:
+        """Eager scatter-gather iteration (cluster scans materialize)."""
+        return iter(self.scan(lo_key, hi_key))
+
+    def _remember_ack(self, key: Key, value: Optional[Value]) -> None:
+        if not isinstance(key, int):
+            return
+        audit = self._acked_audit
+        if key in audit:
+            audit.pop(key)
+        audit[key] = value
+        while len(audit) > AUDIT_WINDOW:
+            audit.popitem(last=False)
+
+    # --------------------------------------------------------------- lifecycle
+    def flush(self) -> float:
+        self._check_open()
+        t0 = self.clock.now
+        for shard in self.router.shards:
+            for replica in shard.group.live_replicas():
+                replica.db.flush()
+        return self.clock.now - t0
+
+    def quiesce(self) -> float:
+        self._check_open()
+        t0 = self.clock.now
+        for shard in self.router.shards:
+            for replica in shard.group.live_replicas():
+                replica.db.quiesce()
+        return self.clock.now - t0
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        for shard in self.router.shards:
+            for replica in shard.group.live_replicas():
+                replica.db.close()
+        self._closed = True
+
+    # -------------------------------------------------------------- inspection
+    def _leader_dbs(self) -> List[IamDB]:
+        return [s.group.leader.db for s in self.router.shards]
+
+    def _live_dbs(self) -> List[IamDB]:
+        return [r.db for s in self.router.shards
+                for r in s.group.live_replicas()]
+
+    def write_amplification(self, *, include_wal: bool = False) -> float:
+        """Cluster WA over the leaders (per-copy, comparable to one node)."""
+        user = 0
+        written = 0
+        for db in self._leader_dbs():
+            user += db.metrics.user_bytes
+            written += db.metrics.compaction_write_bytes
+            if include_wal:
+                written += db.metrics.wal_bytes
+        return written / user if user > 0 else 0.0
+
+    def per_level_write_amplification(self) -> Dict[int, float]:
+        user = 0
+        level_bytes: Dict[int, int] = {}
+        for db in self._leader_dbs():
+            user += db.metrics.user_bytes
+            for level, nbytes in db.metrics.level_write_bytes.items():
+                level_bytes[level] = level_bytes.get(level, 0) + nbytes
+        if user == 0:
+            return {}
+        return {level: nbytes / user
+                for level, nbytes in sorted(level_bytes.items())}
+
+    def space_used_bytes(self) -> int:
+        """Leader copies only (comparable to a single-node run)."""
+        return sum(db.space_used_bytes() for db in self._leader_dbs())
+
+    def space_total_bytes(self) -> int:
+        """All live replicas: what the cluster actually occupies."""
+        return sum(db.space_used_bytes() for db in self._live_dbs())
+
+    @staticmethod
+    def _imbalance(values: List[int]) -> float:
+        """max/mean of a non-negative series (1.0 = perfectly balanced)."""
+        if not values:
+            return 0.0
+        total = sum(values)
+        if total <= 0:
+            return 0.0
+        return max(values) * len(values) / total
+
+    def stats(self) -> Dict[str, object]:
+        """The cluster report: topology, aggregates, imbalance, tails."""
+        shards = self.router.shards
+        shard_rows = [s.stats() for s in shards]
+        merged = merge_snapshots(
+            [s.group.leader.db.metrics.snapshot() for s in shards])
+        ops_per_shard = [s.ops_routed() for s in shards]
+        bytes_per_shard = [s.data_bytes() for s in shards]
+        tail: Dict[str, Dict[str, float]] = {}
+        for op in sorted(self.metrics.latency):
+            digest = self.metrics.latency[op].window_summary(0)
+            if digest["count"]:
+                tail[op] = digest
+        return {
+            "engine": self.options.engine,
+            "n_shards": len(shards),
+            "n_replicas": self.options.n_replicas,
+            "ops_routed": self._ops,
+            "sim_time_s": self.clock.now,
+            "write_amplification": self.write_amplification(),
+            "space_used_bytes": self.space_used_bytes(),
+            "space_total_bytes": self.space_total_bytes(),
+            "load_imbalance": {
+                "ops_max_over_mean": self._imbalance(ops_per_shard),
+                "bytes_max_over_mean": self._imbalance(bytes_per_shard),
+            },
+            "tail_latency": tail,
+            "network": self.network.snapshot(),
+            "rebalance": self.rebalancer.snapshot(),
+            "failovers": list(self.failover_reports),
+            "cluster_events": dict(sorted(self.metrics.events.items())),
+            "metrics": merged,
+            "shards": shard_rows,
+        }
+
+    def check_invariants(self) -> None:
+        """Cluster invariants plus every live replica's engine invariants."""
+        from repro.cluster.invariants import check_cluster_invariants
+        check_cluster_invariants(self)
+        for db in self._live_dbs():
+            db.check_invariants()

@@ -1,0 +1,152 @@
+"""Simulated cluster message fabric on the shared sim clock.
+
+The network is a set of directed point-to-point links, each with one-way
+latency, finite bandwidth and FIFO delivery: a link busy with an earlier
+transfer delays the next one behind it, exactly like :class:`SimDisk`'s
+single-channel ``busy_until`` model.  Nothing here reads a wall clock --
+every timestamp comes from the one :class:`SimClock` the whole cluster
+shares, so network transfers and disk I/O interleave on a single timeline.
+
+Two charging modes mirror the storage runtime's foreground/background
+split:
+
+* :meth:`SimNetwork.send` / :meth:`SimNetwork.rpc` -- foreground messages.
+  The caller waits for delivery: the shared clock advances to the delivery
+  time (queueing behind the link plus service time).
+* :meth:`SimNetwork.reserve` -- background transfers (rebalance file
+  shipping).  The link is reserved FIFO like a foreground send, but the
+  clock does not move; the returned duration is device-time *debt* for a
+  :class:`~repro.storage.background.BackgroundJob`, so bulk copies overlap
+  foreground traffic the same way compactions overlap queries.
+
+The zero network (``NetworkOptions.zero()``) has no latency, infinite
+bandwidth and no framing overhead: every transfer takes exactly 0 simulated
+seconds and never advances the clock, which is what makes a 1-shard,
+1-replica cluster byte-identical to a bare :class:`~repro.db.iamdb.IamDB`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.common.errors import ConfigError
+from repro.storage.simdisk import SimClock
+
+#: Default per-link bandwidth: 2 GiB/s full duplex (a 25 GbE-ish fabric,
+#: deliberately faster than the SSD profile so the disk stays the bottleneck).
+DEFAULT_BANDWIDTH = float(2 * 1024**3)
+
+#: Default one-way latency: 50us (same-datacenter RTT of ~100us).
+DEFAULT_LATENCY_S = 50e-6
+
+
+@dataclass(frozen=True)
+class NetworkOptions:
+    """Per-link fabric parameters (every link is identical)."""
+
+    #: One-way propagation latency per message, in seconds.
+    latency_s: float = DEFAULT_LATENCY_S
+    #: Link bandwidth in bytes/second (``float("inf")`` = no serialization).
+    bandwidth: float = DEFAULT_BANDWIDTH
+    #: Fixed framing/header overhead added to every message's payload.
+    rpc_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0.0:
+            raise ConfigError("network latency_s must be >= 0")
+        if not self.bandwidth > 0.0:
+            raise ConfigError("network bandwidth must be > 0")
+        if self.rpc_bytes < 0:
+            raise ConfigError("network rpc_bytes must be >= 0")
+
+    @staticmethod
+    def zero() -> "NetworkOptions":
+        """The free fabric: zero latency, infinite bandwidth, no framing."""
+        return NetworkOptions(latency_s=0.0, bandwidth=float("inf"),
+                              rpc_bytes=0)
+
+
+class SimNetwork:
+    """Directed FIFO links between integer node ids, on one shared clock."""
+
+    def __init__(self, clock: SimClock,
+                 options: Optional[NetworkOptions] = None) -> None:
+        self.clock = clock
+        self.options = options if options is not None else NetworkOptions()
+        #: Per-directed-link FIFO horizon: (src, dst) -> sim time the link
+        #: is busy through.  Missing entries mean the link has never carried
+        #: traffic (busy through 0.0).
+        self._link_busy: Dict[Tuple[int, int], float] = {}
+        #: Total messages carried (both foreground and background).
+        self.messages = 0
+        #: Total bytes carried, framing included.
+        self.bytes_sent = 0
+        #: Per-directed-link byte counters, for the cluster report.
+        self.link_bytes: Dict[Tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------ model
+    def service_time(self, nbytes: int) -> float:
+        """Latency + serialization time of one message of ``nbytes``."""
+        t = self.options.latency_s
+        if nbytes > 0:
+            t += nbytes / self.options.bandwidth
+        return t
+
+    def _enqueue(self, src: int, dst: int, nbytes: int) -> Tuple[float, float]:
+        """Reserve the (src, dst) link FIFO; returns (start, end) times."""
+        total = nbytes + self.options.rpc_bytes
+        service = self.service_time(total)
+        link = (src, dst)
+        start = self._link_busy.get(link, 0.0)
+        if start < self.clock.now:
+            start = self.clock.now
+        end = start + service
+        self._link_busy[link] = end
+        self.messages += 1
+        self.bytes_sent += total
+        self.link_bytes[link] = self.link_bytes.get(link, 0) + total
+        return start, end
+
+    # ------------------------------------------------------------- foreground
+    def send(self, src: int, dst: int, nbytes: int) -> float:
+        """Deliver one message synchronously; returns the elapsed sim time.
+
+        The caller blocks until delivery: the shared clock advances past any
+        queueing behind earlier traffic on the same directed link plus the
+        message's own service time.
+        """
+        _, end = self._enqueue(src, dst, nbytes)
+        elapsed = end - self.clock.now
+        if elapsed > 0.0:
+            self.clock.advance(elapsed)
+        return elapsed
+
+    def rpc(self, src: int, dst: int, request_bytes: int,
+            response_bytes: int = 0) -> float:
+        """A request/response round trip; returns the total elapsed time."""
+        elapsed = self.send(src, dst, request_bytes)
+        elapsed += self.send(dst, src, response_bytes)
+        return elapsed
+
+    # ------------------------------------------------------------- background
+    def reserve(self, src: int, dst: int, nbytes: int) -> float:
+        """Reserve a background transfer; returns debt, clock untouched.
+
+        The returned duration (queueing behind the link's horizon plus
+        service time) is meant to be a background job's device-time debt:
+        the transfer completes when the pool drains that debt.
+        """
+        start, end = self._enqueue(src, dst, nbytes)
+        return end - self.clock.now
+
+    # ------------------------------------------------------------- inspection
+    def snapshot(self) -> Dict[str, object]:
+        """Deterministic counter dump for the cluster report."""
+        return {
+            "messages": self.messages,
+            "bytes_sent": self.bytes_sent,
+            "link_bytes": {f"{src}->{dst}": nbytes
+                           for (src, dst), nbytes
+                           in sorted(self.link_bytes.items())},
+        }

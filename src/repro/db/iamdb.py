@@ -60,6 +60,7 @@ from repro.storage.wal import WriteAheadLog
 if TYPE_CHECKING:  # pragma: no cover
     from repro.check.sanitizer import Sanitizer, SanitizerOptions
     from repro.db.batch import WriteBatch
+    from repro.storage.simdisk import SimClock
 
 SnapshotLike = Union[None, int, Snapshot]
 
@@ -104,13 +105,14 @@ class IamDB:
                  engine_options: Any = None,
                  storage_options: Optional[StorageOptions] = None,
                  sanitizer_options: Optional["SanitizerOptions"] = None,
-                 fault_options: Optional[FaultOptions] = None) -> None:
+                 fault_options: Optional[FaultOptions] = None,
+                 clock: Optional["SimClock"] = None) -> None:
         self.metrics = MetricsRegistry()
         threads = getattr(engine_options, "background_threads", None)
         if threads is None:
             threads = 1
         self.runtime = Runtime(storage_options, background_threads=threads,
-                               metrics=self.metrics)
+                               metrics=self.metrics, clock=clock)
         if fault_options is not None and fault_options.enabled:
             self.runtime.attach_faults(fault_options)
         self.engine = _engine_factory(engine, engine_options, self.runtime)

@@ -1,6 +1,7 @@
 """Measurement: amplification accounting and latency histograms."""
 
-from repro.metrics.amplification import MetricsRegistry, StallStat
+from repro.metrics.amplification import MetricsRegistry, StallStat, merge_snapshots
 from repro.metrics.latency import LatencyRecorder, percentile
 
-__all__ = ["MetricsRegistry", "StallStat", "LatencyRecorder", "percentile"]
+__all__ = ["MetricsRegistry", "StallStat", "LatencyRecorder", "merge_snapshots",
+           "percentile"]

@@ -190,3 +190,63 @@ class MetricsRegistry:
         self.events.clear()
         self.latency.clear()
         self.stalls.clear()
+
+
+def merge_snapshots(snapshots: "Iterable[Dict[str, object]]") -> Dict[str, object]:
+    """Combine :meth:`MetricsRegistry.snapshot` dicts across instances.
+
+    Cluster reports aggregate one snapshot per shard: scalar counters and
+    the nested ``level_write_bytes`` / ``events`` / ``op_counts`` dicts are
+    summed, stalls merge as (count sum, total sum, max of max), and the
+    derived rates are recomputed from the merged totals -- the cache hit
+    rate is the byte-weighted rate, not the mean of per-shard rates.
+    """
+    scalar_keys = ("user_bytes", "wal_bytes", "compaction_read_bytes",
+                   "query_seeks", "cache_hits", "cache_misses")
+    merged: Dict[str, object] = {key: 0 for key in scalar_keys}
+    level_writes: Dict[int, int] = {}
+    events: Dict[str, int] = {}
+    op_counts: Dict[str, int] = {}
+    stalls: Dict[str, Tuple[int, float, float]] = {}
+    for snap in snapshots:
+        for key in scalar_keys:
+            value = snap.get(key, 0)
+            if isinstance(value, int):
+                merged[key] = merged[key] + value  # type: ignore[operator]
+        raw_lw = snap.get("level_write_bytes")
+        if isinstance(raw_lw, dict):
+            for level, nbytes in raw_lw.items():
+                level_writes[level] = level_writes.get(level, 0) + nbytes
+        raw_events = snap.get("events")
+        if isinstance(raw_events, dict):
+            for name, count in raw_events.items():
+                events[name] = events.get(name, 0) + count
+        raw_ops = snap.get("op_counts")
+        if isinstance(raw_ops, dict):
+            for op, count in raw_ops.items():
+                op_counts[op] = op_counts.get(op, 0) + count
+        raw_stalls = snap.get("stalls")
+        if isinstance(raw_stalls, dict):
+            for reason, (count, total_s, max_s) in raw_stalls.items():
+                prev = stalls.get(reason, (0, 0.0, 0.0))
+                stalls[reason] = (prev[0] + count, prev[1] + total_s,
+                                  max(prev[2], max_s))
+    merged["level_write_bytes"] = dict(sorted(level_writes.items()))
+    merged["events"] = dict(sorted(events.items()))
+    merged["op_counts"] = dict(sorted(op_counts.items()))
+    merged["stalls"] = {reason: stalls[reason] for reason in sorted(stalls)}
+    user = merged["user_bytes"]
+    compaction = sum(level_writes.values())
+    merged["compaction_write_bytes"] = compaction
+    merged["write_amplification"] = (
+        compaction / user if isinstance(user, int) and user > 0 else 0.0)
+    hits = merged["cache_hits"]
+    misses = merged["cache_misses"]
+    looked = (hits + misses  # type: ignore[operator]
+              if isinstance(hits, int) and isinstance(misses, int) else 0)
+    merged["cache_hit_rate"] = (
+        hits / looked if isinstance(hits, int) and looked > 0 else 0.0)
+    merged["total_stall_s"] = sum(t for _, t, _ in stalls.values())
+    merged["longest_stall_s"] = max(
+        (m for _, _, m in stalls.values()), default=0.0)
+    return merged

@@ -36,9 +36,12 @@ class Runtime:
 
     def __init__(self, options: Optional[StorageOptions] = None, *,
                  background_threads: int = 1,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 clock: Optional[SimClock] = None) -> None:
         self.options = options if options is not None else StorageOptions()
-        self.clock = SimClock()
+        # ``clock`` lets several stacks share one timeline (the cluster layer
+        # runs every shard/replica on a single simulated clock).
+        self.clock = clock if clock is not None else SimClock()
         self.disk = SimDisk(self.options.device, self.clock)
         self.cache = PageCache(self.options.page_cache_bytes, self.options.block_size)
         self.pool = BackgroundPool(self.disk, background_threads)

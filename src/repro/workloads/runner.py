@@ -78,20 +78,53 @@ def finish_report(db: IamDB, name: str, ops: int, t0: float,
 
 
 def run_ycsb(db: IamDB, spec, n_ops: int, n_records: int, *, seed: int = 11,
-             value_size: int = 256) -> WorkloadReport:
+             value_size: int = 256, clients: int = 1) -> WorkloadReport:
     """Run ``n_ops`` operations of a YCSB workload spec (see ycsb.py).
 
     ``n_records`` is the loaded record count; keys are ``permute64(item)``
     as produced by :func:`repro.workloads.dbbench.hash_load`.
+
+    ``clients > 1`` models concurrent front-end clients deterministically:
+    each client gets its own seeded op stream with a rotated key-space
+    offset (client c starts at item ``c * n_records // clients``) and the
+    requests interleave round-robin, one op per client per turn.  The total
+    op count stays ``n_ops``; ``clients=1`` is byte-identical to the
+    original single-stream runner.
     """
     from repro.workloads.ycsb import build_op_stream  # cycle-free local import
 
+    if clients < 1:
+        raise ValueError("clients must be >= 1")
     t0 = db.runtime.clock.now
     marks = latency_marks(db)
-    stream = build_op_stream(db, spec, n_ops, n_records, seed=seed,
-                             value_size=value_size)
     ops = 0
-    for op in stream:
-        op()
-        ops += 1
+    if clients == 1:
+        stream = build_op_stream(db, spec, n_ops, n_records, seed=seed,
+                                 value_size=value_size)
+        for op in stream:
+            op()
+            ops += 1
+        return finish_report(db, spec.name, ops, t0, marks)
+    # Shared insert counter: concurrent clients never collide on a new key.
+    insert_state = {"inserted": n_records}
+    streams = []
+    for c in range(clients):
+        client_ops = (n_ops - c + clients - 1) // clients
+        streams.append(build_op_stream(
+            db, spec, client_ops, n_records, seed=seed,
+            value_size=value_size, client=c,
+            key_offset=(c * n_records) // clients,
+            insert_state=insert_state))
+    live = list(streams)
+    while live:
+        finished = []
+        for stream in live:
+            op = next(stream, None)
+            if op is None:
+                finished.append(stream)
+                continue
+            op()
+            ops += 1
+        for stream in finished:
+            live.remove(stream)
     return finish_report(db, spec.name, ops, t0, marks)

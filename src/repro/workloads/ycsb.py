@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator
+from typing import Callable, Dict, Iterator, Optional
 
 from repro.common.errors import ConfigError
 from repro.db.iamdb import IamDB
@@ -69,14 +69,26 @@ YCSB_WORKLOADS: Dict[str, YcsbSpec] = {
 
 
 def build_op_stream(db: IamDB, spec: YcsbSpec, n_ops: int, n_records: int, *,
-                    seed: int, value_size: int) -> Iterator[Callable[[], None]]:
+                    seed: int, value_size: int, client: int = 0,
+                    key_offset: int = 0,
+                    insert_state: Optional[Dict[str, int]] = None,
+                    ) -> Iterator[Callable[[], None]]:
     """Yield ``n_ops`` zero-argument operations implementing ``spec``.
 
     The RNG is seeded per (seed, workload): back-to-back workloads on one
     store must not replay each other's key sequence (which would read
     entirely from page cache and inflate throughput).
+
+    Multi-client runs give each client its own stream: ``client`` salts the
+    RNG (client 0 keeps the single-client seed string, so its stream is
+    unchanged), ``key_offset`` rotates the client's item space so clients
+    hit different key neighborhoods, and ``insert_state`` shares the
+    inserted-item counter so concurrent inserts never collide on a key.
     """
-    rng = random.Random(f"{seed}:{spec.name}")
+    if client == 0:
+        rng = random.Random(f"{seed}:{spec.name}")
+    else:
+        rng = random.Random(f"{seed}:{spec.name}:c{client}")
     if spec.distribution == "zipfian":
         chooser = ScrambledZipfian(n_records, rng)
     elif spec.distribution == "uniform":
@@ -84,9 +96,14 @@ def build_op_stream(db: IamDB, spec: YcsbSpec, n_ops: int, n_records: int, *,
     else:
         chooser = LatestChooser(n_records, rng)
 
-    state = {"inserted": n_records}
+    state = insert_state if insert_state is not None else {"inserted": n_records}
 
     def key_of(item: int) -> int:
+        # The client's key-space rotation applies to the loaded item space
+        # only; freshly inserted items (>= n_records) keep their global ids
+        # so the latest-distribution reads still find them.
+        if key_offset and item < n_records:
+            item = (item + key_offset) % n_records
         return permute64(item)
 
     def do_read() -> None:

@@ -99,3 +99,37 @@ def test_empty_recorder():
     r = LatencyRecorder()
     assert r.mean == 0.0 and r.p99() == 0.0 and r.max == 0.0
     assert len(r) == 0
+
+
+def test_merge_snapshots_sums_and_weights():
+    from repro.metrics import merge_snapshots
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.add_user_bytes(100)
+    a.add_level_write(1, 200)
+    a.add_query_io(seeks=2, hits=1, misses=1)
+    a.add_stall("write-gate", 0.5)
+    b.add_user_bytes(100)
+    b.add_level_write(1, 300)
+    b.add_level_write(2, 100)
+    b.add_query_io(seeks=2, hits=2, misses=0)
+    b.add_stall("write-gate", 2.0)
+    merged = merge_snapshots([a.snapshot(), b.snapshot()])
+    assert merged["user_bytes"] == 200
+    assert merged["compaction_write_bytes"] == 600
+    assert merged["write_amplification"] == pytest.approx(3.0)
+    assert merged["level_write_bytes"] == {1: 500, 2: 100}
+    # Weighted across both caches: 3 hits / 4 lookups.
+    assert merged["cache_hit_rate"] == pytest.approx(0.75)
+    assert merged["total_stall_s"] == pytest.approx(2.5)
+    assert merged["longest_stall_s"] == pytest.approx(2.0)
+
+
+def test_merge_snapshots_empty_and_identity():
+    from repro.metrics import merge_snapshots
+    assert merge_snapshots([])["user_bytes"] == 0
+    m = MetricsRegistry()
+    m.add_user_bytes(50)
+    m.add_level_write(1, 100)
+    solo = merge_snapshots([m.snapshot()])
+    assert solo["write_amplification"] == m.write_amplification()
+    assert solo["user_bytes"] == 50

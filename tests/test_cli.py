@@ -57,3 +57,44 @@ def test_parser_requires_command():
 def test_lsmtrie_engine_via_cli(capsys):
     assert main(["load", "--engine", "lsmtrie", "--records", "2000"]) == 0
     assert "lsmtrie" in capsys.readouterr().out
+
+
+def test_cluster_command(capsys):
+    assert main(["cluster", "ycsb", "--shards", "3", "--replicas", "2",
+                 "--records", "2000", "--ops", "200", "--clients", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "cluster YCSB-A" in out
+    assert "per-shard" in out
+    assert "imbalance" in out
+
+
+def test_cluster_load_mode(capsys):
+    assert main(["cluster", "load", "--shards", "2", "--replicas", "1",
+                 "--records", "2000"]) == 0
+    assert "cluster hash load" in capsys.readouterr().out
+
+
+def test_cluster_report_is_byte_identical(tmp_path, capsys):
+    argv = ["cluster", "ycsb", "--shards", "3", "--replicas", "2",
+            "--records", "2000", "--ops", "200",
+            "--faults", "kill=1:100,rate=0.002,seed=5"]
+    r1, r2 = tmp_path / "r1.json", tmp_path / "r2.json"
+    assert main(argv + ["--report", str(r1)]) == 0
+    assert main(argv + ["--report", str(r2)]) == 0
+    capsys.readouterr()
+    assert r1.read_bytes() == r2.read_bytes()
+    import json
+    stats = json.loads(r1.read_text())
+    assert stats["failovers"][0]["shard"] == 1
+    assert stats["failovers"][0]["recovered_seq"] >= \
+        stats["failovers"][0]["acked_seq"]
+
+
+def test_cluster_trace_validates(tmp_path, capsys):
+    trace = tmp_path / "cluster.json"
+    assert main(["cluster", "ycsb", "--shards", "2", "--replicas", "1",
+                 "--records", "2000", "--ops", "100",
+                 "--trace", str(trace), "--validate"]) == 0
+    out = capsys.readouterr().out
+    assert "trace schema ok" in out
+    assert trace.exists()

@@ -79,3 +79,72 @@ def test_op_stream_deterministic_per_seed():
     r2 = run_ycsb(db2, YCSB_WORKLOADS["A"], 300, 300, seed=5, value_size=64)
     assert r1.latency["insert"]["count"] == r2.latency["insert"]["count"]
     assert db1.metrics.user_bytes == db2.metrics.user_bytes
+
+
+def test_multi_client_interleaving_is_deterministic():
+    db1, db2 = _loaded_db(), _loaded_db()
+    r1 = run_ycsb(db1, YCSB_WORKLOADS["A"], 300, 300, seed=5, value_size=64,
+                  clients=3)
+    r2 = run_ycsb(db2, YCSB_WORKLOADS["A"], 300, 300, seed=5, value_size=64,
+                  clients=3)
+    assert r1.ops == r2.ops == 300
+    assert r1.sim_seconds == r2.sim_seconds
+    assert r1.latency == r2.latency
+
+
+def test_multi_client_covers_all_ops_and_differs_from_single():
+    db1, db2 = _loaded_db(), _loaded_db()
+    r1 = run_ycsb(db1, YCSB_WORKLOADS["A"], 301, 300, seed=5, value_size=64)
+    r2 = run_ycsb(db2, YCSB_WORKLOADS["A"], 301, 300, seed=5, value_size=64,
+                  clients=4)
+    assert r1.ops == r2.ops == 301  # uneven split still sums to n_ops
+    # Different client count => different interleaving => different stream.
+    assert r1.latency != r2.latency
+
+
+class _RecordingDB:
+    """Logs (op, key) pairs instead of doing simulated I/O."""
+
+    def __init__(self):
+        self.log = []
+
+    def get(self, key):
+        self.log.append(("get", key))
+
+    def put(self, key, value_size):
+        self.log.append(("put", key))
+
+    def scan(self, start, stop, limit=None):
+        self.log.append(("scan", start))
+
+
+def _logged_stream(spec, n_ops, n_records, **kw):
+    db = _RecordingDB()
+    for op in build_op_stream(db, spec, n_ops, n_records, seed=9,
+                              value_size=64, **kw):
+        op()
+    return db.log
+
+
+def test_client_zero_stream_matches_single_client():
+    """Client 0 with no offset reproduces the single-stream op sequence."""
+    spec = YCSB_WORKLOADS["A"]
+    ops_a = _logged_stream(spec, 50, 300)
+    ops_b = _logged_stream(spec, 50, 300, client=0, key_offset=0)
+    assert ops_a == ops_b
+    ops_c = _logged_stream(spec, 50, 300, client=1)
+    assert ops_a != ops_c  # per-client RNG derivation
+
+
+def test_key_offset_rotates_loaded_keyspace_only():
+    from repro.workloads.distributions import permute64
+    spec = YCSB_WORKLOADS["D"]  # latest: inserts grow the keyspace
+    state = {"inserted": 100}
+    log = _logged_stream(spec, 200, 100, client=1, key_offset=50,
+                         insert_state=state)
+    loaded = {permute64((i + 50) % 100) for i in range(100)}
+    grown = {permute64(i) for i in range(100, state["inserted"] + 1)}
+    for op, key in log:
+        if op in ("get", "put"):
+            assert key in loaded | grown
+    assert state["inserted"] > 100  # shared insert state advanced
