@@ -1,0 +1,20 @@
+"""Batched read-path microbenchmarks: vectorized kernels vs scalar walks.
+
+Three comparisons, each proven result- and sim-clock-identical inline
+before timing:
+
+* ``multi_get`` -- the two-phase planned batch lookup against the frozen
+  per-key memtable/engine walk (``reference_multi_get``);
+* ``scan`` -- the vectorized plan/replay assembler against the frozen
+  generator heap merge (``reference_scan``) on a version- and
+  tombstone-heavy leveled store;
+* cluster fan-out -- one scatter-gather ``multi_get`` RPC batch against
+  per-key routed reads (``reference_cluster_read_loop``).
+"""
+
+if __name__ == "__main__":
+    import sys
+
+    from _harness import run_standalone
+
+    sys.exit(run_standalone(["reads"], __doc__))

@@ -61,6 +61,14 @@ def _entry(n_ops: int, seconds: float) -> Dict[str, float]:
             "ops_per_s": round(n_ops / seconds, 1) if seconds > 0 else 0.0}
 
 
+def _verify(cond: bool, msg: str) -> None:
+    """Inline equivalence gate for the read benches (survives python -O)."""
+    if not cond:
+        from repro.common.errors import InvariantViolation
+
+        raise InvariantViolation(msg)
+
+
 # ------------------------------------------------------------------ memtable
 def bench_memtable(quick: bool = False) -> Dict[str, Dict[str, float]]:
     from repro.bench.reference import ReferenceMemtable
@@ -224,6 +232,140 @@ def bench_workloads(quick: bool = False) -> Dict[str, Dict[str, float]]:
     return out
 
 
+# --------------------------------------------------------------------- reads
+def bench_reads(quick: bool = False) -> Dict[str, Dict[str, float]]:
+    """Batched read kernels vs their frozen scalar references.
+
+    Each comparison builds *two* identically-seeded stores, proves the
+    batched path returns the same records at the same simulated clock as
+    the scalar reference (a cheap inline echo of the hypothesis equivalence
+    suite), then times both -- so the speedup is pure host-CPU savings on
+    a workload with pinned simulated behaviour.
+    """
+    from repro.bench.reference import (
+        reference_cluster_read_loop,
+        reference_multi_get,
+        reference_scan,
+    )
+    from repro.bench.scale import SSD_100G, make_db
+    from repro.workloads.dbbench import hash_load
+    from repro.workloads.distributions import permute64
+
+    # Batch economics: the vectorized planners pay a fixed numpy cost per
+    # (node, sequence) group the store shape forces them to touch, so the
+    # speedup scales with reads per group -- batches are sized well above
+    # the store's record count, like a YCSB-C read phase over a loaded DB.
+    n_records = 2_000 if quick else 4_000
+    n_reads = 8_000 if quick else 12_000
+
+    def build_db():
+        db = make_db("I-1t", SSD_100G)
+        hash_load(db, n_records, quiesce=True)
+        return db
+
+    rng = random.Random(17)
+    read_keys = [permute64(rng.randrange(n_records)) for _ in range(n_reads)]
+
+    out: Dict[str, Dict[str, float]] = {}
+
+    # ---- point lookups: multi_get vs the scalar per-key walk
+    db_ref = build_db()
+    db_opt = build_db()
+    verify_keys = read_keys[:200]
+    want = reference_multi_get(db_ref, verify_keys)
+    got = db_opt.multi_get(verify_keys)
+    _verify(want == got, "multi_get diverged from the scalar reference")
+    _verify(db_ref.runtime.clock.now == db_opt.runtime.clock.now,  # repro: noqa-REP004 (exact sim-clock equivalence gate)
+            "multi_get moved the simulated clock differently than the reference")
+    out["read_multi_get_reference"] = _entry(
+        n_reads, _time(lambda: reference_multi_get(db_ref, read_keys)))
+    out["read_multi_get_batched"] = _entry(
+        n_reads, _time(lambda: db_opt.multi_get(read_keys)))
+    _verify(db_ref.runtime.clock.now == db_opt.runtime.clock.now,  # repro: noqa-REP004 (exact sim-clock equivalence gate)
+            "timed multi_get runs ended at different simulated clocks")
+    db_ref.close()
+    db_opt.close()
+
+    # ---- range scans: the vectorized plan/replay vs the generator merge
+    # A leveled store over a compact key space (the composite-sort fast
+    # path), five versions per key with a tombstone tail -- the shape where
+    # the scalar merge burns a Python step on every superseded version
+    # while the planner handles them as array ops.
+    s_records = 6_000 if quick else 12_000
+    n_scans = 6 if quick else 8
+    scan_limit = 3_000 if quick else 6_000
+
+    def build_scan_db():
+        db = make_db("L", SSD_100G)
+        load_rng = random.Random(123)
+        order = list(range(s_records))
+        load_rng.shuffle(order)
+        for k in order:
+            db.put(k, 100 + (k % 64))
+        for _ in range(4 * s_records):
+            k = load_rng.randrange(s_records)
+            if load_rng.random() < 0.12:
+                db.delete(k)
+            else:
+                db.put(k, 100)
+        db.quiesce()
+        return db
+
+    db_ref = build_scan_db()
+    db_opt = build_scan_db()
+    # Start low enough that every scan runs its full limit; exhausted scans
+    # measure fixed costs, not the per-record merge the kernel targets.
+    starts = [rng.randrange(s_records // 3) for _ in range(n_scans)]
+    v = reference_scan(db_ref, starts[0], None, limit=scan_limit)
+    _verify(v == db_opt.scan(starts[0], None, limit=scan_limit),
+            "batched scan diverged from the scalar reference")
+    _verify(db_ref.runtime.clock.now == db_opt.runtime.clock.now,  # repro: noqa-REP004 (exact sim-clock equivalence gate)
+            "batched scan moved the simulated clock differently than the reference")
+
+    def drive_scans(fn):
+        for start in starts:
+            fn(start, None, limit=scan_limit)
+
+    scan_rows = n_scans * scan_limit
+    out["read_scan_reference"] = _entry(
+        scan_rows, _time(lambda: drive_scans(
+            lambda lo, hi, limit: reference_scan(db_ref, lo, hi, limit=limit))))
+    out["read_scan_batched"] = _entry(
+        scan_rows, _time(lambda: drive_scans(
+            lambda lo, hi, limit: db_opt.scan(lo, hi, limit=limit))))
+    _verify(db_ref.runtime.clock.now == db_opt.runtime.clock.now,  # repro: noqa-REP004 (exact sim-clock equivalence gate)
+            "timed scan runs ended at different simulated clocks")
+    db_ref.close()
+    db_opt.close()
+
+    # ---- cluster fan-out: one scatter-gather RPC batch vs per-key routing
+    from repro.cluster import ClusterDB, ClusterOptions
+
+    c_records = 1_000 if quick else 2_000
+    c_reads = 2_000 if quick else 4_000
+
+    def build_cluster():
+        cluster = ClusterDB(ClusterOptions(n_shards=4, n_replicas=2))
+        hash_load(cluster, c_records, quiesce=False)
+        cluster.quiesce()
+        return cluster
+
+    cl_ref = build_cluster()
+    cl_opt = build_cluster()
+    c_keys = [permute64(rng.randrange(c_records)) for _ in range(c_reads)]
+    _verify(reference_cluster_read_loop(cl_ref, c_keys[:100])
+            == cl_opt.multi_get(c_keys[:100]),
+            "cluster multi_get diverged from the per-key routing reference")
+    out["read_cluster_fanout_reference"] = _entry(
+        c_reads, _time(lambda: reference_cluster_read_loop(cl_ref, c_keys),
+                       repeat=2))
+    out["read_cluster_fanout_batched"] = _entry(
+        c_reads, _time(lambda: cl_opt.multi_get(c_keys), repeat=2))
+    cl_ref.close()
+    cl_opt.close()
+    return out
+
+
 # --------------------------------------------------------------- end to end
 def bench_end_to_end(quick: bool = False, *, config: str = "I-1t",
                      records: Optional[int] = None,
@@ -266,6 +408,7 @@ SUITES: Dict[str, Callable[[bool], Dict[str, Dict[str, float]]]] = {
     "merge": bench_merge,
     "pagecache": bench_pagecache,
     "workloads": bench_workloads,
+    "reads": bench_reads,
     "end_to_end": bench_end_to_end,
 }
 
@@ -282,7 +425,17 @@ _SPEEDUP_PAIRS = (
     ("keygen_permute64", "keygen_permute64_many", "keygen_permute64_scalar"),
     ("keygen_zipfian", "keygen_zipfian_many", "keygen_zipfian_scalar"),
     ("keygen_scrambled", "keygen_scrambled_many", "keygen_scrambled_scalar"),
+    ("read_multi_get", "read_multi_get_batched", "read_multi_get_reference"),
+    ("read_scan", "read_scan_batched", "read_scan_reference"),
+    ("read_cluster_fanout", "read_cluster_fanout_batched",
+     "read_cluster_fanout_reference"),
 )
+
+#: Minimum speedup the batched read kernels must hold over their scalar
+#: references whenever they appear in a --check'd report (the read-path
+#: acceptance floor; wall-clock-independent, so checkable on any machine).
+_READ_SPEEDUP_FLOOR = 3.0
+_READ_SPEEDUP_KEYS = ("read_multi_get", "read_scan", "read_cluster_fanout")
 
 
 def run_suite(which: Optional[Sequence[str]] = None, *,
@@ -371,6 +524,13 @@ def check_regression(report: Dict[str, object], baseline_path: Path, *,
         failures.append(
             f"end-to-end write amplification changed: {wa_cur} != {wa_base} "
             "(hot-path rewrites must preserve record-level semantics)")
+    speedups = report.get("speedups") or {}
+    for label in _READ_SPEEDUP_KEYS:
+        got = speedups.get(label)
+        if got is not None and got < _READ_SPEEDUP_FLOOR:
+            failures.append(
+                f"{label} speedup {got:.2f}x below the "
+                f"{_READ_SPEEDUP_FLOOR:.1f}x read-path floor")
     return failures
 
 

@@ -30,6 +30,7 @@ from repro.common.records import (
     PUT,
     RecordTuple,
     SEQ,
+    VALUE,
     encoded_size,
     sort_key,
 )
@@ -149,6 +150,91 @@ def reference_merge_runs(runs: PySequence[List[RecordTuple]], *,
             kept.append(rec)
     emit()
     return out
+
+
+# ------------------------------------------------------------ read-path oracles
+def reference_multi_get(db, keys, snapshot=None) -> List[Optional[object]]:
+    """The frozen scalar batch read: one full walk per key, in order.
+
+    This is the oracle :meth:`repro.db.iamdb.IamDB.multi_get` is proven
+    against: per key, the seed read path (memtable, immutable memtable,
+    then the engine's scalar ``get``) with the latency measured as the
+    simulated-clock delta; one pump and one ``read`` latency sample per
+    key after the batch, matching the batched path's bookkeeping.
+    """
+    runtime = db.runtime
+    clock = runtime.clock
+    snap = db._snap_seq(snapshot)
+    values: List[Optional[object]] = []
+    latencies: List[float] = []
+    for key in keys:
+        t0 = clock.now
+        rec = db.memtable.get(key, snap)
+        if rec is None and db.immutable is not None:
+            rec = db.immutable.get(key, snap)
+        if rec is None:
+            rec, _ = db.engine.get(key, snap)
+        latencies.append(clock.now - t0)
+        values.append(None if rec is None or rec[KIND] == DELETE
+                      else rec[VALUE])
+    runtime.pump()
+    for lat in latencies:
+        db.metrics.record_latency("read", lat)
+    return values
+
+
+def _reference_merge_visible(streams, *, snapshot=None, hi_key=None,
+                             limit=None) -> Iterator[Tuple[object, object]]:
+    """Verbatim copy of the seed ``repro.db.iterator.merge_visible``."""
+    live = [s for s in streams if s is not None]
+    if not live:
+        return
+    merged = live[0] if len(live) == 1 else heapq.merge(*live, key=sort_key)
+    served_key = _sentinel = object()
+    count = 0
+    for rec in merged:
+        key = rec[KEY]
+        if hi_key is not None and key >= hi_key:
+            break
+        if key is served_key or key == served_key:
+            continue
+        if snapshot is not None and rec[SEQ] > snapshot:
+            continue
+        served_key = key
+        if rec[KIND] == DELETE:
+            continue
+        yield (key, rec[VALUE])
+        count += 1
+        if limit is not None and count >= limit:
+            break
+
+
+def reference_scan(db, lo_key=None, hi_key=None, *, limit=None,
+                   snapshot=None) -> List[Tuple[object, object]]:
+    """The frozen scalar scan: seed ``IamDB.scan`` over the heap merge.
+
+    Memtable/immutable snapshots plus one lazily-charging engine cursor per
+    component, merged record by record through the generator pipeline --
+    the oracle the batched :func:`repro.table.scan.merge_scan` assembler
+    is proven charge-identical against.
+    """
+    runtime = db.runtime
+    t0 = runtime.clock.now
+    snap = db._snap_seq(snapshot)
+    streams = [list(db.memtable.iter_range(lo_key, hi_key))]
+    if db.immutable is not None:
+        streams.append(list(db.immutable.iter_range(lo_key, hi_key)))
+    streams.extend(db.engine.scan_cursors(lo_key, hi_key))
+    out = list(_reference_merge_visible(streams, snapshot=snap,
+                                        hi_key=hi_key, limit=limit))
+    runtime.pump()
+    db.metrics.record_latency("scan", runtime.clock.now - t0)
+    return out
+
+
+def reference_cluster_read_loop(cluster, keys) -> List[Optional[object]]:
+    """The frozen scalar cluster read: one routed RPC per key, in order."""
+    return [cluster.get(key) for key in keys]
 
 
 BlockKey = Tuple[int, int]

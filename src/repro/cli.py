@@ -343,7 +343,8 @@ def cmd_cluster(args) -> int:
     if args.mode == "ycsb":
         spec = YCSB_WORKLOADS[args.workload.upper()]
         rep = run_ycsb(cluster, spec, args.ops, args.records,
-                       clients=args.clients)
+                       clients=args.clients,
+                       coalesce_reads=args.coalesce_reads)
     cluster.quiesce()
     rc = 0
     try:
@@ -543,6 +544,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="YCSB operations after the load phase")
     sp.add_argument("--clients", type=int, default=1,
                     help="deterministically interleaved YCSB client streams")
+    sp.add_argument("--coalesce-reads", action="store_true",
+                    help="batch each round's point reads into one "
+                         "scatter-gather multi_get through the router")
     sp.add_argument("--engine", choices=ENGINES, default="iam")
     sp.add_argument("--device", choices=("ssd", "hdd"), default="ssd")
     sp.add_argument("--records", type=int, default=30_000)

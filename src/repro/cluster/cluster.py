@@ -245,6 +245,21 @@ class ClusterDB:
         self.metrics.record_latency("read", self.clock.now - t0)
         return value
 
+    def multi_get(self, keys: List[Key]) -> List[Optional[Value]]:
+        """Batched :meth:`get`: one routed scatter-gather op for the batch.
+
+        Counts as a single routed operation (one admission/rebalance check,
+        one ``multi_get`` latency sample covering the whole batch); each
+        shard leader answers its sub-batch through the storage layer's
+        vectorized read path.
+        """
+        self._begin_op()
+        t0 = self.clock.now
+        values = self.router.multi_get(keys)
+        self._pump_all()
+        self.metrics.record_latency("multi_get", self.clock.now - t0)
+        return values
+
     def scan(self, lo_key: Optional[Key] = None, hi_key: Optional[Key] = None,
              *, limit: Optional[int] = None) -> List[Tuple[Key, object]]:
         self._begin_op()

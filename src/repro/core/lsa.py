@@ -25,6 +25,8 @@ from __future__ import annotations
 import bisect
 from typing import Any, Callable, Dict, Iterator, List, Optional, Set, Tuple, cast
 
+import numpy as np
+
 from repro.common.errors import InvariantViolation
 from repro.common.options import LsaOptions
 from repro.common.records import KEY, Key, RecordTuple, encoded_size
@@ -37,8 +39,10 @@ from repro.core.node import (
     level_find_node,
     level_insert_sorted,
     level_overlapping,
+    level_route_many,
     partition_records,
 )
+from repro.table.scan import chain_stream
 from repro.storage.background import BackgroundJob
 from repro.storage.runtime import Runtime
 from repro.table.block import Sequence
@@ -524,6 +528,77 @@ class LsaTree(EngineBase):
             if rec is not None:
                 return rec, latency
         return None, latency
+
+    def multi_get(self, keys, snapshot: Optional[int] = None,
+                  ) -> Tuple[List[Optional[RecordTuple]], List[float]]:
+        """Vectorized batched point lookup (charge-identical to the loop).
+
+        Phase A plans every key's walk CPU-side: one ``searchsorted`` over
+        the level's node fences routes the whole batch, and each touched
+        node's :meth:`MSTable.plan_gets` resolves outcomes over the cached
+        sequence key columns and batched Bloom probes -- no device I/O.
+        Phase B replays each key's planned ``(file_id, blocks)`` charges in
+        request order, which is exactly the charge sequence the scalar
+        :meth:`get` loop issues, so the simulated clock, page cache and
+        metrics end bit-identical.  Non-integer keys fall back to the
+        scalar loop before any charge is issued.
+        """
+        n = len(keys)
+        if n == 0:
+            return [], []
+        try:
+            key_arr = np.asarray(keys, dtype=np.uint64)
+            if key_arr.shape != (n,):
+                raise TypeError("keys must be a flat sequence")
+        except (OverflowError, TypeError, ValueError):
+            return super().multi_get(keys, snapshot)
+        results: List[Optional[RecordTuple]] = [None] * n
+        probes: List[List[Tuple[int, range]]] = [[] for _ in range(n)]
+        counters = [0, 0]  # [bloom_probes, bloom_negatives]
+        live = list(range(n))
+        try:
+            for level in range(1, self.n + 1):
+                if not live:
+                    break
+                lvl = self.levels[level]
+                if not lvl:
+                    continue
+                live_arr = np.fromiter(live, dtype=np.intp, count=len(live))
+                routed = level_route_many(lvl, key_arr[live_arr])
+                buckets: Dict[int, List[int]] = {}
+                for off, node_idx in enumerate(routed.tolist()):
+                    if node_idx >= 0:
+                        buckets.setdefault(node_idx, []).append(live[off])
+                resolved: Set[int] = set()
+                for node_idx in sorted(buckets):
+                    node = lvl[node_idx]
+                    if node.is_empty:
+                        continue
+                    members = buckets[node_idx]
+                    left = node.table.plan_gets(key_arr, members, snapshot,
+                                                probes, results, counters)
+                    if len(left) != len(members):
+                        resolved.update(set(members) - set(left))
+                if resolved:
+                    live = [g for g in live if g not in resolved]
+        except (OverflowError, TypeError, ValueError):
+            # Non-uint64 fences or record keys: nothing was charged yet, so
+            # the scalar loop reproduces the trajectory from scratch.
+            return super().multi_get(keys, snapshot)
+        return results, self._replay_probe_plans(probes, counters)
+
+    def scan_plan(self, lo_key: Optional[Key],
+                  hi_key: Optional[Key]) -> List[object]:
+        """Batched scan streams: one node chain per level, cursor order."""
+        plan: List[object] = []
+        for level in range(1, self.n + 1):
+            nodes = [nd for nd in level_overlapping(self.levels[level], lo_key, hi_key)
+                     if not nd.is_empty]
+            if nodes:
+                plan.append(chain_stream(self.runtime,
+                                         [nd.table for nd in nodes],
+                                         lo_key, hi_key))
+        return plan
 
     def scan_runs(self, lo_key: Optional[Key],
                   hi_key: Optional[Key]) -> Tuple[List[List[RecordTuple]], float]:

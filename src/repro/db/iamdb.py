@@ -46,7 +46,9 @@ from repro.common.records import (
 from repro.core.engine import EngineBase
 from repro.core.iam import IamTree
 from repro.core.lsa import LsaTree
-from repro.db.iterator import merge_visible
+from repro.db.iterator import DbIterator, merge_visible
+from repro.table.scan import list_stream, merge_scan
+from repro.table.scanplan import planned_scan
 from repro.db.snapshot import Snapshot
 from repro.faults.crash import CrashSpec, RecoveryReport
 from repro.lsm.flsm import FlsmEngine
@@ -330,6 +332,48 @@ class IamDB:
             return None
         return rec[VALUE]
 
+    def multi_get(self, keys: List[Key],
+                  snapshot: SnapshotLike = None) -> List[Optional[Value]]:
+        """Batched :meth:`get`: newest visible values, in request order.
+
+        Result- and charge-identical to calling :meth:`get` per key (see
+        :func:`repro.bench.reference.reference_multi_get` for the frozen
+        scalar oracle): keys the memtables resolve cost no simulated time,
+        the rest go to the engine's vectorized planner, which replays the
+        scalar walk's device charges key by key.  One pump and one ``read``
+        latency sample per key, in request order.
+        """
+        self._check_open()
+        runtime = self.runtime
+        snap = self._snap_seq(snapshot)
+        n = len(keys)
+        results: List[Optional[RecordTuple]] = [None] * n
+        latencies = [0.0] * n
+        pending: List[int] = []
+        pending_keys: List[Key] = []
+        for i, key in enumerate(keys):
+            rec = self.memtable.get(key, snap)
+            if rec is None and self.immutable is not None:
+                rec = self.immutable.get(key, snap)
+            if rec is None:
+                pending.append(i)
+                pending_keys.append(key)
+            else:
+                results[i] = rec
+        if pending:
+            recs, lats = self.engine.multi_get(pending_keys, snap)
+            for j, i in enumerate(pending):
+                results[i] = recs[j]
+                latencies[i] = lats[j]
+        runtime.pump()
+        record = self.metrics.record_latency
+        out: List[Optional[Value]] = []
+        for i in range(n):
+            record("read", latencies[i])
+            rec = results[i]
+            out.append(None if rec is None or rec[KIND] == DELETE else rec[VALUE])
+        return out
+
     def scan(self, lo_key: Optional[Key] = None,
              hi_key: Optional[Key] = None, *, limit: Optional[int] = None,
              snapshot: SnapshotLike = None) -> List[Tuple[Key, object]]:
@@ -338,14 +382,45 @@ class IamDB:
         runtime = self.runtime
         t0 = runtime.clock.now
         snap = self._snap_seq(snapshot)
-        streams: List = [list(self.memtable.iter_range(lo_key, hi_key))]
-        if self.immutable is not None:
-            streams.append(list(self.immutable.iter_range(lo_key, hi_key)))
-        streams.extend(self.engine.scan_cursors(lo_key, hi_key))
-        out = list(merge_visible(streams, snapshot=snap, hi_key=hi_key, limit=limit))
+        plan = self.engine.scan_plan(lo_key, hi_key)
+        if plan is not None:
+            # Batched assembler: same records, same charge order as the
+            # heap-merge path below, without the per-record generator dance.
+            streams = [list_stream(list(self.memtable.iter_range(lo_key, hi_key)))]
+            if self.immutable is not None:
+                streams.append(list_stream(
+                    list(self.immutable.iter_range(lo_key, hi_key))))
+            streams.extend(plan)
+            # Fast path: plan the whole merge vectorized (one lexsort over
+            # the cached key columns + an explicit charge-event replay);
+            # falls back to the pull-based mirror on unsupported shapes.
+            out = planned_scan(streams, snapshot=snap, hi_key=hi_key,
+                               limit=limit)
+            if out is None:
+                out = merge_scan(streams, snapshot=snap, hi_key=hi_key,
+                                 limit=limit)
+        else:
+            streams: List = [list(self.memtable.iter_range(lo_key, hi_key))]
+            if self.immutable is not None:
+                streams.append(list(self.immutable.iter_range(lo_key, hi_key)))
+            streams.extend(self.engine.scan_cursors(lo_key, hi_key))
+            out = list(merge_visible(streams, snapshot=snap, hi_key=hi_key,
+                                     limit=limit))
         runtime.pump()
         self.metrics.record_latency("scan", runtime.clock.now - t0)
         return out
+
+    def iterator(self, lo_key: Optional[Key] = None,
+                 hi_key: Optional[Key] = None, *,
+                 snapshot: SnapshotLike = None) -> DbIterator:
+        """A seekable ordered iterator (see :class:`~repro.db.iterator.DbIterator`).
+
+        Like :meth:`iterate` but with :meth:`~repro.db.iterator.DbIterator.seek`
+        repositioning through the cached per-sequence key columns instead of
+        rebuilding the cursor stack.
+        """
+        self._check_open()
+        return DbIterator(self, lo_key, hi_key, self._snap_seq(snapshot))
 
     # -------------------------------------------------------------- snapshots
     def snapshot(self) -> Snapshot:

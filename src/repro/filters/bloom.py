@@ -107,6 +107,25 @@ class BloomFilter:
                 return False
         return True
 
+    def contains_many(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`might_contain` over a uint64 key array.
+
+        Returns a bool array; bit-identical to probing key by key (same
+        double-hashing probe sequence), but all ``k * n`` bit gathers happen
+        as one broadcast, which is what makes batched point reads cheap.
+        """
+        arr = np.asarray(keys, dtype=np.uint64)
+        if self.n_hashes == 0 or arr.size == 0:
+            return np.ones(arr.shape, dtype=bool)
+        h1 = _splitmix64(arr)
+        h2 = _splitmix64(arr ^ np.uint64(0xA5A5A5A5A5A5A5A5)) | np.uint64(1)
+        steps = np.arange(self.n_hashes, dtype=np.uint64)[:, None]
+        # uint64 arithmetic wraps, matching the & _MASK64 of the scalar probe.
+        idx = (h1 + steps * h2) % np.uint64(self.n_bits)
+        words = self._bits[(idx >> np.uint64(6)).astype(np.intp)]
+        probe = (words >> (idx & np.uint64(63))) & np.uint64(1)
+        return probe.all(axis=0)
+
     @staticmethod
     def build(keys: Sequence[int], bits_per_key: int) -> "BloomFilter":
         f = BloomFilter(len(keys), bits_per_key)

@@ -23,6 +23,8 @@ from __future__ import annotations
 import bisect
 from typing import Any, Dict, List, Optional, Set, Tuple, cast
 
+import numpy as np
+
 from repro.common.errors import InvariantViolation
 from repro.common.options import LsmOptions
 from repro.common.records import KEY, RecordTuple, encoded_size
@@ -31,6 +33,7 @@ from repro.storage.background import BackgroundJob
 from repro.storage.runtime import Runtime
 from repro.table.merge import merge_runs
 from repro.table.mstable import MSTable
+from repro.table.scan import chain_stream, table_stream
 
 
 class LeveledLsm(EngineBase):
@@ -323,6 +326,98 @@ class LeveledLsm(EngineBase):
                 if rec is not None:
                     return rec, latency
         return None, latency
+
+    def multi_get(self, keys, snapshot: Optional[int] = None,
+                  ) -> Tuple[List[Optional[RecordTuple]], List[float]]:
+        """Vectorized batched point lookup (charge-identical to the loop).
+
+        Same two-phase shape as :meth:`repro.core.lsa.LsaTree.multi_get`:
+        Phase A plans each key's L0-then-levels walk CPU-side (range masks
+        over L0 files, one ``searchsorted`` over each sorted level's
+        min-key fences, batched Bloom/span resolution per table), Phase B
+        replays the planned charges per key in request order.
+        """
+        n = len(keys)
+        if n == 0:
+            return [], []
+        try:
+            key_arr = np.asarray(keys, dtype=np.uint64)
+            if key_arr.shape != (n,):
+                raise TypeError("keys must be a flat sequence")
+        except (OverflowError, TypeError, ValueError):
+            return super().multi_get(keys, snapshot)
+        results: List[Optional[RecordTuple]] = [None] * n
+        probes: List[List[Tuple[int, range]]] = [[] for _ in range(n)]
+        counters = [0, 0]  # [bloom_probes, bloom_negatives]
+        live = list(range(n))
+        try:
+            for table in reversed(self.levels[0]):
+                if not live:
+                    break
+                live_arr = np.fromiter(live, dtype=np.intp, count=len(live))
+                sub = key_arr[live_arr]
+                mask = (sub >= np.uint64(table.min_key)) & (sub <= np.uint64(table.max_key))
+                if not mask.any():
+                    continue
+                members = [live[off] for off in np.nonzero(mask)[0].tolist()]
+                left = table.plan_gets(key_arr, members, snapshot,
+                                       probes, results, counters)
+                if len(left) != len(members):
+                    gone = set(members) - set(left)
+                    live = [g for g in live if g not in gone]
+            for level in range(1, self.options.max_levels):
+                if not live:
+                    break
+                lst = self.levels[level]
+                if not lst:
+                    continue
+                n_tab = len(lst)
+                mins = np.fromiter((t.min_key for t in lst), dtype=np.uint64,
+                                   count=n_tab)
+                maxes = np.fromiter((t.max_key for t in lst), dtype=np.uint64,
+                                    count=n_tab)
+                live_arr = np.fromiter(live, dtype=np.intp, count=len(live))
+                sub = key_arr[live_arr]
+                idx = np.searchsorted(mins, sub, side="right").astype(np.intp) - 1
+                valid = (idx >= 0) & (maxes[np.maximum(idx, 0)] >= sub)
+                buckets: Dict[int, List[int]] = {}
+                vlist = valid.tolist()
+                ilist = idx.tolist()
+                for off in range(len(live)):
+                    if vlist[off]:
+                        buckets.setdefault(ilist[off], []).append(live[off])
+                resolved: Set[int] = set()
+                for ti in sorted(buckets):
+                    members = buckets[ti]
+                    left = lst[ti].plan_gets(key_arr, members, snapshot,
+                                             probes, results, counters)
+                    if len(left) != len(members):
+                        resolved.update(set(members) - set(left))
+                if resolved:
+                    live = [g for g in live if g not in resolved]
+        except (OverflowError, TypeError, ValueError):
+            return super().multi_get(keys, snapshot)
+        return results, self._replay_probe_plans(probes, counters)
+
+    def scan_plan(self, lo_key, hi_key) -> List[object]:
+        """Batched scan streams matching :meth:`scan_cursors` order."""
+        plan: List[object] = []
+        for table in reversed(self.levels[0]):
+            if hi_key is not None and table.min_key > hi_key:
+                continue
+            if lo_key is not None and table.max_key < lo_key:
+                continue
+            plan.append(table_stream(self.runtime, table, lo_key, hi_key))
+        for level in range(1, self.options.max_levels):
+            lst = self.levels[level]
+            if not lst:
+                continue
+            lo = lst[0].min_key if lo_key is None else lo_key
+            hi = lst[-1].max_key if hi_key is None else hi_key
+            tables = self._overlapping(level, lo, hi)
+            if tables:
+                plan.append(chain_stream(self.runtime, tables, lo_key, hi_key))
+        return plan
 
     def _find_table(self, level: int, key) -> Optional[MSTable]:
         # Levels are small lists of disjoint sorted ranges; linear scan with

@@ -51,6 +51,10 @@ class MetricsRegistry:
         self.cache_hits = 0
         #: Query block reads that missed the page cache.
         self.cache_misses = 0
+        #: Bloom filter membership probes issued by point lookups.
+        self.bloom_probes = 0
+        #: Bloom probes that rejected the key (sequence skipped, no I/O).
+        self.bloom_negatives = 0
         #: Event counters: splits, combines, merges, appends, moves, stalls...
         self.events: Dict[str, int] = defaultdict(int)
         #: Latency recorder per operation type ("insert", "read", "scan"...).
@@ -76,6 +80,10 @@ class MetricsRegistry:
         self.query_seeks += seeks
         self.cache_hits += hits
         self.cache_misses += misses
+
+    def add_bloom_probes(self, probes: int, negatives: int) -> None:
+        self.bloom_probes += probes
+        self.bloom_negatives += negatives
 
     def bump(self, event: str, n: int = 1) -> None:
         self.events[event] += n
@@ -172,6 +180,8 @@ class MetricsRegistry:
             "query_seeks": self.query_seeks,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "bloom_probes": self.bloom_probes,
+            "bloom_negatives": self.bloom_negatives,
             "events": dict(self.events),
             "op_counts": {op: rec.count for op, rec in self.latency.items()},
             "stalls": {reason: (st.count, st.total_s, st.max_s)
@@ -187,6 +197,8 @@ class MetricsRegistry:
         self.query_seeks = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        self.bloom_probes = 0
+        self.bloom_negatives = 0
         self.events.clear()
         self.latency.clear()
         self.stalls.clear()
@@ -202,7 +214,8 @@ def merge_snapshots(snapshots: "Iterable[Dict[str, object]]") -> Dict[str, objec
     rate is the byte-weighted rate, not the mean of per-shard rates.
     """
     scalar_keys = ("user_bytes", "wal_bytes", "compaction_read_bytes",
-                   "query_seeks", "cache_hits", "cache_misses")
+                   "query_seeks", "cache_hits", "cache_misses",
+                   "bloom_probes", "bloom_negatives")
     merged: Dict[str, object] = {key: 0 for key in scalar_keys}
     level_writes: Dict[int, int] = {}
     events: Dict[str, int] = {}

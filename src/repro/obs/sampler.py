@@ -3,7 +3,8 @@
 Snapshots the storage stack at a configurable simulated-time interval:
 per-level data bytes, sequence counts per node, running write/read/space
 amplification, cache hit rate, pending compaction debt, cumulative stall
-time, and windowed operation throughput.  The rows reproduce the paper's
+time, windowed operation throughput, and read-path rates (point lookups/s,
+blocks touched per lookup, Bloom negative rate).  The rows reproduce the paper's
 throughput/stability timelines (Fig. 8) and LevelDB's overflow story (§6.2)
 directly from one traced run.
 
@@ -44,6 +45,9 @@ class TimeseriesSampler:
         self._last_ops = self._op_total(db.metrics.snapshot())
         self._last_hits = db.metrics.cache_hits
         self._last_misses = db.metrics.cache_misses
+        self._last_reads = self._read_count(db.metrics.snapshot())
+        self._last_bloom_probes = db.metrics.bloom_probes
+        self._last_bloom_negatives = db.metrics.bloom_negatives
 
     # ---------------------------------------------------------------- driving
     @property
@@ -62,6 +66,11 @@ class TimeseriesSampler:
         for n in counts.values():  # type: ignore[union-attr]
             total += int(n)
         return total
+
+    @staticmethod
+    def _read_count(snapshot: Dict[str, object]) -> int:
+        counts = snapshot["op_counts"]
+        return int(counts.get("read", 0))  # type: ignore[union-attr]
 
     # --------------------------------------------------------------- sampling
     def _sequence_shape(self) -> Dict[str, int]:
@@ -88,13 +97,20 @@ class TimeseriesSampler:
         runtime = db.runtime
         metrics = db.metrics
         now = runtime.clock.now
-        ops = self._op_total(metrics.snapshot())
+        snap = metrics.snapshot()
+        ops = self._op_total(snap)
         window_s = now - self._last_ts
         ops_window = ops - self._last_ops
         hits = metrics.cache_hits
         misses = metrics.cache_misses
         dh = hits - self._last_hits
         dm = misses - self._last_misses
+        reads = self._read_count(snap)
+        dreads = reads - self._last_reads
+        bp = metrics.bloom_probes
+        bn = metrics.bloom_negatives
+        dbp = bp - self._last_bloom_probes
+        dbn = bn - self._last_bloom_negatives
         row: Dict[str, object] = {
             "ts": now,
             "level_data_bytes": {int(k): int(v)
@@ -116,6 +132,14 @@ class TimeseriesSampler:
             "ops": ops,
             "ops_window": ops_window,
             "throughput_ops_s": (ops_window / window_s) if window_s > 0.0 else 0.0,
+            # Read-path telemetry (windowed): point-lookup throughput, data
+            # blocks touched per lookup, and the Bloom-filter negative rate
+            # -- the three signals the batched multi_get path must preserve.
+            "reads": reads,
+            "reads_window": dreads,
+            "point_lookup_rate": (dreads / window_s) if window_s > 0.0 else 0.0,
+            "blocks_per_read_window": ((dh + dm) / dreads) if dreads > 0 else 0.0,
+            "bloom_negative_rate_window": (dbn / dbp) if dbp > 0 else 0.0,
         }
         row.update(self._sequence_shape())
         self.rows.append(row)
@@ -123,6 +147,9 @@ class TimeseriesSampler:
         self._last_ops = ops
         self._last_hits = hits
         self._last_misses = misses
+        self._last_reads = reads
+        self._last_bloom_probes = bp
+        self._last_bloom_negatives = bn
         # Advance the grid strictly past "now" (a stall may jump several
         # intervals; one row represents the whole jump).
         step = self.interval_s

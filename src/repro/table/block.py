@@ -14,6 +14,8 @@ import bisect
 from operator import itemgetter
 from typing import Iterator, List, Optional, Tuple
 
+import numpy as np
+
 from repro.common.errors import InvariantViolation
 from repro.common.records import KEY, Key, RECORD_OVERHEAD, RecordTuple, SEQ
 from repro.filters.bloom import BloomFilter
@@ -40,6 +42,10 @@ class Sequence:
         "max_key",
         "min_seq",
         "max_seq",
+        "_keys_arr",
+        "_seqs_arr",
+        "_kinds_arr",
+        "_vals_arr",
     )
 
     def __init__(self, records: List[RecordTuple], *, key_size: int, block_size: int,
@@ -83,6 +89,10 @@ class Sequence:
         self.max_seq = max_seq
         self.bloom = BloomFilter.build([r[KEY] for r in records], bloom_bits_per_key)
         self.metadata_bytes = self.bloom.nbytes + INDEX_ENTRY_BYTES * self.n_blocks
+        self._keys_arr: Optional[np.ndarray] = None
+        self._seqs_arr: Optional[np.ndarray] = None
+        self._kinds_arr: Optional[np.ndarray] = None
+        self._vals_arr: object = None  # ndarray | None (unbuilt) | False (n/a)
 
     def __len__(self) -> int:
         return len(self.records)
@@ -94,6 +104,90 @@ class Sequence:
         recs = self.records
         i = 0 if lo_key is None else bisect.bisect_left(recs, lo_key, key=_key_of)
         j = len(recs) if hi_key is None else bisect.bisect_right(recs, hi_key, key=_key_of)
+        return i, j
+
+    def keys_array(self) -> Optional[np.ndarray]:
+        """Cached uint64 key column (the batched block index).
+
+        Lazily built on the first batched lookup; ``None`` when the keys are
+        not uint64-representable (callers fall back to the scalar path).
+        Sequences are immutable, so the cache never invalidates.
+        """
+        arr = self._keys_arr
+        if arr is None:
+            try:
+                arr = np.fromiter((r[0] for r in self.records),
+                                  dtype=np.uint64, count=len(self.records))
+            except (OverflowError, TypeError, ValueError):
+                return None
+            self._keys_arr = arr
+        return arr
+
+    def aux_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Cached (seq, kind) columns for the vectorized scan planner.
+
+        Raises OverflowError/TypeError when the sequence numbers are not
+        uint64-representable (callers fall back to the pull-based path).
+        Sequences are immutable, so the cache never invalidates.
+        """
+        seqs = self._seqs_arr
+        if seqs is None:
+            recs = self.records
+            n = len(recs)
+            seqs = np.fromiter((r[1] for r in recs), dtype=np.uint64, count=n)
+            self._kinds_arr = np.fromiter((r[2] for r in recs),
+                                          dtype=np.uint8, count=n)
+            self._seqs_arr = seqs
+        return seqs, self._kinds_arr
+
+    def vals_array(self) -> Optional[np.ndarray]:
+        """Cached uint64 value column, or None when values aren't small ints.
+
+        Simulated values are synthetic byte sizes (ints), so scans can
+        assemble their output column-wise; byte-string or out-of-range
+        values disable the cache permanently for this sequence.
+        """
+        vals = self._vals_arr
+        if vals is False:
+            return None
+        if vals is None:
+            recs = self.records
+            try:
+                vals = np.fromiter((r[3] for r in recs), dtype=np.uint64,
+                                   count=len(recs))
+            except (OverflowError, TypeError, ValueError):
+                self._vals_arr = False
+                return None
+            self._vals_arr = vals
+        return vals
+
+    def spans_for_keys(self, keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`_record_span` for exact-match lookups.
+
+        ``keys`` must be uint64; raises TypeError when the cached key column
+        is unavailable (non-integer record keys).
+        """
+        col = self.keys_array()
+        if col is None:
+            raise TypeError("sequence keys are not uint64-representable")
+        return (np.searchsorted(col, keys, side="left"),
+                np.searchsorted(col, keys, side="right"))
+
+    def span_for_range(self, lo_key: Optional[Key],
+                       hi_key: Optional[Key]) -> Tuple[int, int]:
+        """:meth:`_record_span` using the cached key column when possible."""
+        col = self.keys_array()
+        if col is None:
+            return self._record_span(lo_key, hi_key)
+        i = 0
+        j = len(self.records)
+        try:
+            if lo_key is not None:
+                i = int(np.searchsorted(col, np.uint64(lo_key), side="left"))
+            if hi_key is not None:
+                j = int(np.searchsorted(col, np.uint64(hi_key), side="right"))
+        except (OverflowError, TypeError, ValueError):
+            return self._record_span(lo_key, hi_key)
         return i, j
 
     def _blocks_for_span(self, i: int, j: int) -> range:
@@ -119,7 +213,10 @@ class Sequence:
         """
         if key < self.min_key or key > self.max_key:
             return None, 0.0
+        metrics = runtime.metrics
+        metrics.bloom_probes += 1
         if not self.bloom.might_contain(key):
+            metrics.bloom_negatives += 1
             return None, 0.0
         i, j = self._record_span(key, key)
         if i >= j:
