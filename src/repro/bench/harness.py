@@ -13,7 +13,7 @@ import contextlib
 import cProfile
 import pstats
 import sys
-from typing import Dict, Tuple
+from typing import Any, Dict, Iterator, Optional, Sequence, TextIO, Tuple
 
 from repro.bench.scale import (
     HDD_100G,
@@ -43,7 +43,8 @@ _loaded_cache: Dict[Tuple, IamDB] = {}
 
 @contextlib.contextmanager
 def maybe_profile(enabled: bool, *, sort: str = "cumulative",
-                  limit: int = 30, stream=None):
+                  limit: int = 30, stream: Optional[TextIO] = None,
+                  ) -> Iterator[Optional[cProfile.Profile]]:
     """Optionally cProfile the enclosed block (``--profile`` CLI flag).
 
     When ``enabled`` is false this is a no-op context manager, so call sites
@@ -68,23 +69,25 @@ def clear_cache() -> None:
 
 
 def loaded_db(config: str, setup: ScaledSetup, *, fresh: bool = False,
-              quiesce: bool = False, **engine_kw) -> Tuple[IamDB, WorkloadReport]:
+              quiesce: bool = False,
+              **engine_kw: Any) -> Tuple[IamDB, WorkloadReport]:
     """A DB hash-loaded with the setup's dataset (cached unless ``fresh``)."""
     key = (config, setup.name, setup.n_records, quiesce,
            tuple(sorted(engine_kw.items())))
     if fresh or key not in _loaded_cache:
         db = make_db(config, setup, **engine_kw)
         report = hash_load(db, setup.n_records, quiesce=quiesce)
-        db._load_report = report  # stashed for reuse
+        db._load_report = report  # type: ignore[attr-defined] # stash for reuse
         if not fresh:
             _loaded_cache[key] = db
         return db, report
     db = _loaded_cache[key]
-    return db, db._load_report
+    return db, db._load_report  # type: ignore[attr-defined]
 
 
 # ---------------------------------------------------------------- Table 3
-def exp_table3(setup: ScaledSetup = HDD_100G, ks=(1, 2, 3), m: int = 3,
+def exp_table3(setup: ScaledSetup = HDD_100G, ks: Sequence[int] = (1, 2, 3),
+               m: int = 3,
                ) -> Dict[int, Dict[int, float]]:
     """Per-level WA of IAM after a hash load, for fixed m and each k (§5.1.2)."""
     out: Dict[int, Dict[int, float]] = {}
@@ -98,10 +101,11 @@ def exp_table3(setup: ScaledSetup = HDD_100G, ks=(1, 2, 3), m: int = 3,
 
 # ---------------------------------------------------------------- Table 4
 def exp_table4(setup: ScaledSetup = HDD_1T,
-               configs=("L", "R-1t", "R-4t", "A-1t", "A-4t", "I-1t", "I-4t"),
+               configs: Sequence[str] = ("L", "R-1t", "R-4t", "A-1t",
+                                         "A-4t", "I-1t", "I-4t"),
                ) -> Dict[str, Dict[int, float]]:
     """Per-level WA after hash-loading the 1 TB dataset for every config."""
-    out = {}
+    out: Dict[str, Dict[int, float]] = {}
     for config in configs:
         db = make_db(config, setup)
         hash_load(db, setup.n_records, quiesce=False)
@@ -111,13 +115,14 @@ def exp_table4(setup: ScaledSetup = HDD_1T,
 
 
 # ---------------------------------------------------------------- Figure 6
-def exp_fig6(configs=("L", "R-1t", "R-4t", "A-1t", "A-4t", "I-1t", "I-4t"),
-             setups=(SSD_100G, HDD_100G, HDD_1T),
+def exp_fig6(configs: Sequence[str] = ("L", "R-1t", "R-4t", "A-1t", "A-4t",
+                                       "I-1t", "I-4t"),
+             setups: Sequence[ScaledSetup] = (SSD_100G, HDD_100G, HDD_1T),
              ) -> Dict[str, Dict[str, WorkloadReport]]:
     """Hash-load throughput for each setup and config (normalized later)."""
     out: Dict[str, Dict[str, WorkloadReport]] = {}
     for setup in setups:
-        rows = {}
+        rows: Dict[str, WorkloadReport] = {}
         for config in configs:
             db = make_db(config, setup)
             rows[config] = hash_load(db, setup.n_records, quiesce=False)
@@ -127,8 +132,9 @@ def exp_fig6(configs=("L", "R-1t", "R-4t", "A-1t", "A-4t", "I-1t", "I-4t"),
 
 
 # ---------------------------------------------------------------- Figure 7
-def exp_fig7(setup: ScaledSetup, workloads=("A", "B", "C", "D", "E", "F", "G"),
-             configs=("L", "R-1t", "A-1t", "I-1t"),
+def exp_fig7(setup: ScaledSetup,
+             workloads: Sequence[str] = ("A", "B", "C", "D", "E", "F", "G"),
+             configs: Sequence[str] = ("L", "R-1t", "A-1t", "I-1t"),
              n_ops: int = DEFAULT_RUN_OPS,
              ) -> Dict[str, Dict[str, WorkloadReport]]:
     """YCSB A-G throughput on a loaded store (fresh load per config, §6.1)."""
@@ -145,8 +151,8 @@ def exp_fig7(setup: ScaledSetup, workloads=("A", "B", "C", "D", "E", "F", "G"),
 
 # ---------------------------------------------------------------- Figure 8
 def exp_fig8(setup: ScaledSetup = SSD_100G,
-             workloads=("B", "C", "D", "E", "G"),
-             configs=("L", "R-1t", "A-1t", "I-1t"),
+             workloads: Sequence[str] = ("B", "C", "D", "E", "G"),
+             configs: Sequence[str] = ("L", "R-1t", "A-1t", "I-1t"),
              n_ops: int = DEFAULT_RUN_OPS,
              ) -> Dict[str, Dict[str, WorkloadReport]]:
     """Stable throughputs: run after the tuning phase completes (§6.4)."""
@@ -163,9 +169,9 @@ def exp_fig8(setup: ScaledSetup = SSD_100G,
 
 
 # ---------------------------------------------------------------- Table 5
-def exp_table5(setups=(SSD_100G, HDD_100G, HDD_1T),
-               workloads=("B", "C", "D", "E", "G"),
-               configs=("L", "R-1t", "A-1t", "I-1t"),
+def exp_table5(setups: Sequence[ScaledSetup] = (SSD_100G, HDD_100G, HDD_1T),
+               workloads: Sequence[str] = ("B", "C", "D", "E", "G"),
+               configs: Sequence[str] = ("L", "R-1t", "A-1t", "I-1t"),
                n_ops: int = DEFAULT_RUN_OPS,
                ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """99th-percentile latencies for the query-intensive workloads.
@@ -189,13 +195,14 @@ def exp_table5(setups=(SSD_100G, HDD_100G, HDD_1T),
 
 
 # ---------------------------------------------------------------- Figure 9
-def exp_fig9(setups=(SSD_100G, HDD_100G),
-             configs=("L", "R-1t", "A-1t", "I-1t"),
+def exp_fig9(setups: Sequence[ScaledSetup] = (SSD_100G, HDD_100G),
+             configs: Sequence[str] = ("L", "R-1t", "A-1t", "I-1t"),
              ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """db_bench fillseq + readseq throughputs (§6.6)."""
     out: Dict[str, Dict[str, Dict[str, float]]] = {"fillseq": {}, "readseq": {}}
     for setup in setups:
-        fs, rs = {}, {}
+        fs: Dict[str, float] = {}
+        rs: Dict[str, float] = {}
         for config in configs:
             db = make_db(config, setup)
             rep = fill_seq(db, setup.n_records, quiesce=False)
@@ -211,13 +218,13 @@ def exp_fig9(setups=(SSD_100G, HDD_100G),
 
 # ---------------------------------------------------------------- Figure 10
 def exp_fig10(setup: ScaledSetup = SSD_100G,
-              configs=("L", "R-1t", "A-1t", "I-1t"),
+              configs: Sequence[str] = ("L", "R-1t", "A-1t", "I-1t"),
               ) -> Dict[str, Dict[str, int]]:
     """Space usage after fillseq / hash-load / fillrandom / overwrite (§6.7)."""
     out: Dict[str, Dict[str, int]] = {}
     n = setup.n_records
     for test in ("fillseq", "hash-load", "fillrandom", "overwrite"):
-        row = {}
+        row: Dict[str, int] = {}
         for config in configs:
             db = make_db(config, setup)
             if test == "fillseq":
@@ -239,10 +246,10 @@ def exp_fig10(setup: ScaledSetup = SSD_100G,
 
 # -------------------------------------------------------- §6.2 tail latency
 def exp_load_latency(setup: ScaledSetup = SSD_100G,
-                     configs=("L", "R-1t", "A-1t", "I-1t"),
+                     configs: Sequence[str] = ("L", "R-1t", "A-1t", "I-1t"),
                      ) -> Dict[str, Dict[str, float]]:
     """Insert-latency tail during a hash load: p99 and max per config."""
-    out = {}
+    out: Dict[str, Dict[str, float]] = {}
     for config in configs:
         db = make_db(config, setup)
         hash_load(db, setup.n_records, quiesce=False)
@@ -256,7 +263,7 @@ def exp_load_latency(setup: ScaledSetup = SSD_100G,
 def exp_flsm_seqwrite(setup: ScaledSetup = SSD_100G,
                       ) -> Dict[str, WorkloadReport]:
     """Sequential-load behaviour: FLSM rewrites, LSA/IAM/LSM move (§6.8)."""
-    out = {}
+    out: Dict[str, WorkloadReport] = {}
     for engine in ("flsm", "leveldb", "lsa", "iam"):
         db = IamDB(engine, storage_options=setup.storage_options())
         out[engine] = fill_seq(db, setup.n_records, quiesce=False)

@@ -25,7 +25,21 @@ import random
 import sys
 import time
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+if TYPE_CHECKING:
+    from repro.cluster import ClusterDB
+    from repro.db.iamdb import IamDB
+from repro.check.effects.registry import effects
 
 #: Where the committed perf trajectory lives (repo root).
 BENCH_PERF_FILENAME = "BENCH_perf.json"
@@ -44,6 +58,7 @@ SEED_BASELINE = {
 }
 
 
+@effects("HOST_TIME")
 def _time(fn: Callable[[], object], *, repeat: int = 3) -> float:
     """Best-of-``repeat`` wall seconds of one ``fn()`` call."""
     best = float("inf")
@@ -82,19 +97,19 @@ def bench_memtable(quick: bool = False) -> Dict[str, Dict[str, float]]:
     random.Random(7).shuffle(keys)
     recs = [make_put(k, i + 1, 256) for i, k in enumerate(keys)]
 
-    def load_reference():
+    def load_reference() -> list:
         mt = ReferenceMemtable(16)
         for r in recs:
             mt.add(r)
         return mt.sorted_records()
 
-    def load_add():
+    def load_add() -> list:
         mt = Memtable(16)
         for r in recs:
             mt.add(r)
         return mt.sorted_records()
 
-    def load_add_many():
+    def load_add_many() -> list:
         mt = Memtable(16)
         mt.add_many(recs)
         return mt.sorted_records()
@@ -149,7 +164,7 @@ def bench_pagecache(quick: bool = False) -> Dict[str, Dict[str, float]]:
     fit_bytes = files * blocks * block_size     # everything fits
     tight_bytes = 4096 * block_size             # constant eviction pressure
 
-    def drive_cold(cache_cls):
+    def drive_cold(cache_cls: type) -> None:
         # Fresh cache per rep: every insert_range is a cold whole-run
         # admission (the bg_write_run pattern).
         for _ in range(reps):
@@ -157,7 +172,9 @@ def bench_pagecache(quick: bool = False) -> Dict[str, Dict[str, float]]:
             for f in range(files):
                 cache.insert_range(f, 0, blocks)
 
-    def drive_touch(make_touch):
+    @effects("HOST_TIME")
+    def drive_touch(make_touch: Tuple[type, Callable[..., object]],
+                    ) -> float:
         # Fully resident cache: the all-hits query read path.
         cache_cls, touch_all = make_touch
         cache = cache_cls(fit_bytes, block_size)
@@ -169,12 +186,12 @@ def bench_pagecache(quick: bool = False) -> Dict[str, Dict[str, float]]:
                 touch_all(cache, f)
         return time.perf_counter() - t0  # repro: noqa-REP001 (host benchmark timer)
 
-    def ref_touch_all(cache, f):
+    def ref_touch_all(cache: Any, f: int) -> None:
         touch = cache.touch
         for b in range(blocks):
             touch(f, b)
 
-    def drive_evicting(cache_cls):
+    def drive_evicting(cache_cls: type) -> None:
         # 10k distinct blocks through a 4096-block cache: re-admission churn.
         cache = cache_cls(tight_bytes, block_size)
         for _ in range(reps):
@@ -258,7 +275,7 @@ def bench_reads(quick: bool = False) -> Dict[str, Dict[str, float]]:
     n_records = 2_000 if quick else 4_000
     n_reads = 8_000 if quick else 12_000
 
-    def build_db():
+    def build_db() -> "IamDB":
         db = make_db("I-1t", SSD_100G)
         hash_load(db, n_records, quiesce=True)
         return db
@@ -295,7 +312,7 @@ def bench_reads(quick: bool = False) -> Dict[str, Dict[str, float]]:
     n_scans = 6 if quick else 8
     scan_limit = 3_000 if quick else 6_000
 
-    def build_scan_db():
+    def build_scan_db() -> "IamDB":
         db = make_db("L", SSD_100G)
         load_rng = random.Random(123)
         order = list(range(s_records))
@@ -322,7 +339,7 @@ def bench_reads(quick: bool = False) -> Dict[str, Dict[str, float]]:
     _verify(db_ref.runtime.clock.now == db_opt.runtime.clock.now,  # repro: noqa-REP004 (exact sim-clock equivalence gate)
             "batched scan moved the simulated clock differently than the reference")
 
-    def drive_scans(fn):
+    def drive_scans(fn: Callable[..., object]) -> None:
         for start in starts:
             fn(start, None, limit=scan_limit)
 
@@ -344,7 +361,7 @@ def bench_reads(quick: bool = False) -> Dict[str, Dict[str, float]]:
     c_records = 1_000 if quick else 2_000
     c_reads = 2_000 if quick else 4_000
 
-    def build_cluster():
+    def build_cluster() -> "ClusterDB":
         cluster = ClusterDB(ClusterOptions(n_shards=4, n_replicas=2))
         hash_load(cluster, c_records, quiesce=False)
         cluster.quiesce()
@@ -367,6 +384,7 @@ def bench_reads(quick: bool = False) -> Dict[str, Dict[str, float]]:
 
 
 # --------------------------------------------------------------- end to end
+@effects("CLOCK_ADVANCE", "DISK_CHARGE", "HOST_TIME", "SPAN_BEGIN", "SPAN_END", "STATE_MUTATE")
 def bench_end_to_end(quick: bool = False, *, config: str = "I-1t",
                      records: Optional[int] = None,
                      trace_path: Optional[str] = None) -> Dict[str, Dict[str, float]]:

@@ -20,7 +20,16 @@ from __future__ import annotations
 import bisect
 import heapq
 from collections import OrderedDict
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence as PySequence, Tuple
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence as PySequence,
+    Tuple,
+)
 
 from repro.common.errors import ConfigError, InvariantViolation
 from repro.common.records import (
@@ -76,7 +85,8 @@ class ReferenceMemtable:
         if self.max_seq is None or seq > self.max_seq:
             self.max_seq = seq
 
-    def get(self, key, snapshot: Optional[int] = None) -> Optional[RecordTuple]:
+    def get(self, key: Any,
+            snapshot: Optional[int] = None) -> Optional[RecordTuple]:
         versions = self._versions.get(key)
         if versions is None:
             return None
@@ -88,7 +98,8 @@ class ReferenceMemtable:
                 return (key, seq, kind, vsize)
         return None
 
-    def iter_range(self, lo=None, hi=None) -> Iterator[RecordTuple]:
+    def iter_range(self, lo: Any = None, hi: Any = None,
+                   ) -> Iterator[RecordTuple]:
         keys = self._keys
         start = 0 if lo is None else bisect.bisect_left(keys, lo)
         stop = len(keys) if hi is None else bisect.bisect_left(keys, hi)
@@ -153,7 +164,9 @@ def reference_merge_runs(runs: PySequence[List[RecordTuple]], *,
 
 
 # ------------------------------------------------------------ read-path oracles
-def reference_multi_get(db, keys, snapshot=None) -> List[Optional[object]]:
+def reference_multi_get(db: Any, keys: Iterable[Any],
+                        snapshot: Optional[int] = None,
+                        ) -> List[Optional[object]]:
     """The frozen scalar batch read: one full walk per key, in order.
 
     This is the oracle :meth:`repro.db.iamdb.IamDB.multi_get` is proven
@@ -183,8 +196,11 @@ def reference_multi_get(db, keys, snapshot=None) -> List[Optional[object]]:
     return values
 
 
-def _reference_merge_visible(streams, *, snapshot=None, hi_key=None,
-                             limit=None) -> Iterator[Tuple[object, object]]:
+def _reference_merge_visible(streams: Iterable[Any], *,
+                             snapshot: Optional[int] = None,
+                             hi_key: Any = None,
+                             limit: Optional[int] = None,
+                             ) -> Iterator[Tuple[object, object]]:
     """Verbatim copy of the seed ``repro.db.iterator.merge_visible``."""
     live = [s for s in streams if s is not None]
     if not live:
@@ -209,8 +225,10 @@ def _reference_merge_visible(streams, *, snapshot=None, hi_key=None,
             break
 
 
-def reference_scan(db, lo_key=None, hi_key=None, *, limit=None,
-                   snapshot=None) -> List[Tuple[object, object]]:
+def reference_scan(db: Any, lo_key: Any = None, hi_key: Any = None, *,
+                   limit: Optional[int] = None,
+                   snapshot: Optional[int] = None,
+                   ) -> List[Tuple[object, object]]:
     """The frozen scalar scan: seed ``IamDB.scan`` over the heap merge.
 
     Memtable/immutable snapshots plus one lazily-charging engine cursor per
@@ -232,7 +250,8 @@ def reference_scan(db, lo_key=None, hi_key=None, *, limit=None,
     return out
 
 
-def reference_cluster_read_loop(cluster, keys) -> List[Optional[object]]:
+def reference_cluster_read_loop(cluster: Any, keys: Iterable[Any],
+                                ) -> List[Optional[object]]:
     """The frozen scalar cluster read: one routed RPC per key, in order."""
     return [cluster.get(key) for key in keys]
 

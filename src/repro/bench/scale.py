@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
+from typing import Any
 
 from repro.common.options import (
     GIB,
@@ -21,6 +22,7 @@ from repro.common.options import (
     LsmOptions,
     SSD,
     StorageOptions,
+    TreeOptions,
     paper_bytes,
 )
 from repro.common.records import RECORD_OVERHEAD
@@ -87,9 +89,10 @@ ENGINE_CONFIGS = {
 }
 
 
-def make_db(config: str, setup: ScaledSetup, **engine_kw) -> IamDB:
+def make_db(config: str, setup: ScaledSetup, **engine_kw: Any) -> IamDB:
     """Build a DB for one legend config ("L", "R-1t", "I-4t", ...)."""
     engine, threads = ENGINE_CONFIGS[config]
+    opts: TreeOptions
     if engine in ("iam", "lsa"):
         opts = IamOptions(key_size=KEY_SIZE, background_threads=threads, **engine_kw)
     elif engine == "rocksdb":

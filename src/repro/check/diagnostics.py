@@ -15,8 +15,10 @@ import it), so it only imports :mod:`repro.common.errors`.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Set, Tuple, TypeVar
 
 from repro.common.errors import InvariantViolation
 
@@ -66,3 +68,88 @@ def diagnostic_of(exc: BaseException) -> Diagnostic:
 def format_violations(diagnostics: "list[Diagnostic]") -> str:
     """Render a list of diagnostics, one per line, for reports and tests."""
     return "\n".join(d.format() for d in diagnostics)
+
+
+# --------------------------------------------------------------------------
+# Shared static-check plumbing: suppression comments, path relativization
+# and deterministic ordering.  Both the determinism lint (REP0xx) and the
+# effects gate (REP1xx) speak this dialect, so one test suite covers the
+# round-trip for both.
+# --------------------------------------------------------------------------
+
+#: Per-line suppression: ``# repro: noqa-REPxxx`` (one rule per marker;
+#: repeat the marker to suppress several rules on one line).
+NOQA_LINE_RE = re.compile(r"#\s*repro:\s*noqa-(REP\d{3})")
+#: File-level suppression: ``# repro: noqa-file-REPxxx`` anywhere in the
+#: file (conventionally in the module docstring header) silences the rule
+#: for the whole file.
+NOQA_FILE_RE = re.compile(r"#\s*repro:\s*noqa-file-(REP\d{3})")
+
+
+@dataclass(frozen=True)
+class NoqaIndex:
+    """Parsed suppression markers of one source file."""
+
+    #: line number -> rule ids suppressed on that line.
+    lines: Mapping[int, Set[str]]
+    #: Rule ids suppressed for the entire file.
+    file_rules: Set[str]
+
+    def is_suppressed(self, rule: str, line: int,
+                      extra_lines: Iterable[int] = ()) -> bool:
+        """Whether ``rule`` is suppressed at ``line``.
+
+        ``extra_lines`` widens the match window -- a finding anchored at a
+        decorated ``def`` accepts a marker on any line of the decorator
+        block, so suppression is insensitive to which physical line the
+        AST anchors the finding to.
+        """
+        if rule in self.file_rules:
+            return True
+        if rule in self.lines.get(line, ()):
+            return True
+        return any(rule in self.lines.get(extra, ())
+                   for extra in extra_lines)
+
+
+def parse_noqa(source: str) -> NoqaIndex:
+    """Parse all suppression markers out of one module's source text."""
+    lines: Dict[int, Set[str]] = {}
+    file_rules: Set[str] = set()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        for match in NOQA_FILE_RE.finditer(text):
+            file_rules.add(match.group(1))
+        # Strip file-level markers before per-line matching so the
+        # narrower regex cannot double-count them.
+        stripped = NOQA_FILE_RE.sub("", text)
+        for match in NOQA_LINE_RE.finditer(stripped):
+            lines.setdefault(lineno, set()).add(match.group(1))
+    return NoqaIndex(lines=lines, file_rules=file_rules)
+
+
+def relativize_path(path: str, root: Optional[Path] = None) -> str:
+    """Render ``path`` relative to ``root`` (default: cwd) when possible.
+
+    Findings carry absolute paths internally (stable sort keys across
+    working directories); reports print them relative so CI artifacts and
+    local runs are comparable byte-for-byte.
+    """
+    base = root if root is not None else Path.cwd()
+    try:
+        return str(Path(path).resolve().relative_to(base.resolve()))
+    except ValueError:
+        return str(path)
+
+
+_FindingT = TypeVar("_FindingT")
+
+
+def finding_sort_key(finding: Any) -> Tuple[str, int, int, str]:
+    """Deterministic ordering shared by every REP-rule reporter."""
+    return (str(finding.path), int(finding.line), int(finding.col),
+            str(finding.rule))
+
+
+def sort_findings(findings: Iterable[_FindingT]) -> List[_FindingT]:
+    """Sort findings by (path, line, col, rule) -- the report order."""
+    return sorted(findings, key=finding_sort_key)

@@ -1,0 +1,75 @@
+"""Whole-program effect inference (``repro check --gate effects``).
+
+The simulation-first methodology only holds if every code path obeys the
+system contracts: the simulated clock is the only time source, every disk
+and network byte is charged through a costing wrapper, all randomness
+descends from an explicit seed, and every tracer span that opens is closed.
+The per-module hypothesis tests prove these properties for the paths they
+happen to exercise; this package proves them *statically* for every path.
+
+Pipeline (all pure AST, no module is imported):
+
+1. :mod:`repro.check.effects.callgraph` parses ``src/repro`` and builds an
+   AST-level call graph: classes, attribute types, imports, and resolved
+   call edges (including subclass overrides, so a call through a
+   ``NullTracer``-annotated attribute also reaches ``Tracer``).
+2. :mod:`repro.check.effects.infer` extracts *leaf* effects from intrinsic
+   patterns (``clock.now`` stores, ``busy_until`` stores, ``SimDisk``
+   counters, ``SimNetwork`` link reservations, RNG draws, wall-clock reads,
+   tracer span opens/closes, attribute stores) and propagates them
+   bottom-up through the call graph to a fixpoint.
+3. :mod:`repro.check.effects.contracts` checks the declared contracts --
+   :func:`effects` / :func:`observation_only` decorators plus the registry
+   defaults -- and emits REP100-series findings.
+4. :mod:`repro.check.effects.gate` applies ``# repro: noqa-REPxxx``
+   suppressions and the committed baseline, and renders the JSON report
+   consumed by CI.
+
+Only :mod:`repro.check.effects.registry` is imported by engine modules at
+runtime; its decorators are identity functions (they attach metadata and
+return the function object unchanged), so annotating a function is
+guaranteed not to change behavior.
+"""
+
+from __future__ import annotations
+
+from repro.check.effects.registry import (
+    ALL_EFFECTS,
+    CLOCK_ADVANCE,
+    DISK_CHARGE,
+    HOST_TIME,
+    NET_CHARGE,
+    OBSERVATION_FORBIDDEN,
+    RNG_DRAW,
+    SPAN_BEGIN,
+    SPAN_END,
+    STATE_MUTATE,
+    effects,
+    observation_only,
+)
+
+__all__ = [
+    "ALL_EFFECTS",
+    "CLOCK_ADVANCE",
+    "DISK_CHARGE",
+    "HOST_TIME",
+    "NET_CHARGE",
+    "OBSERVATION_FORBIDDEN",
+    "RNG_DRAW",
+    "SPAN_BEGIN",
+    "SPAN_END",
+    "STATE_MUTATE",
+    "effects",
+    "observation_only",
+    "run_effects_gate",
+]
+
+
+def run_effects_gate(*args: object, **kwargs: object) -> object:
+    """Lazy alias for :func:`repro.check.effects.gate.run_effects_gate`.
+
+    The analyzer proper is only imported when the gate actually runs, so
+    engine modules importing the decorators stay cheap.
+    """
+    from repro.check.effects.gate import run_effects_gate as run
+    return run(*args, **kwargs)  # type: ignore[arg-type]

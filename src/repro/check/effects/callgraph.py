@@ -1,0 +1,478 @@
+"""AST-level call graph over ``src/repro`` (no module is ever imported).
+
+The effect pass needs to know, for every function in the repo, which other
+repo functions it may call.  Python gives no static types, so the graph is
+built from three cooperating name-resolution layers:
+
+1. **Module symbols** -- per-module tables of defined classes/functions and
+   of imports (including ``if TYPE_CHECKING:`` imports, which is where the
+   storage stack declares its attribute types).
+2. **Class attribute types** -- for each class, ``self.x = SomeClass(...)``
+   assignments, ``self.x: T`` annotations and dataclass field annotations
+   give attributes a static type, so ``self.disk.fg_io(...)`` resolves
+   precisely.
+3. **Conservative dispatch** -- a call through a statically-typed receiver
+   resolves to the method on that class *plus every override in its repo
+   subclasses* (a ``NullTracer``-annotated attribute may hold a ``Tracer``
+   at runtime, and the effect system must see the recording path).
+
+Unresolvable calls (builtins, dict/list methods, callbacks) are treated as
+effect-free; the intrinsic *leaf* patterns in :mod:`.infer` catch the
+primitive effects by shape, so unknown receivers cannot hide a clock or a
+charge that originates in this repo.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+#: External types the analyzer tracks by name (RNG receivers).
+RNG_TYPES: FrozenSet[str] = frozenset({
+    "random.Random", "numpy.random.Generator",
+})
+
+#: External constructors with a known instance type.
+_EXTERNAL_CONSTRUCTORS: Dict[str, str] = {
+    "random.Random": "random.Random",
+    "Random": "random.Random",
+    "default_rng": "numpy.random.Generator",
+    "numpy.random.default_rng": "numpy.random.Generator",
+    "np.random.default_rng": "numpy.random.Generator",
+}
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method (or nested function) in the repo."""
+
+    qualname: str
+    module: str
+    path: str
+    name: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    cls: Optional["ClassInfo"] = None
+    #: Qualname of the enclosing function for nested defs, else None.
+    parent: Optional[str] = None
+    #: Effect contract from an ``@effects(...)`` decorator, else None.
+    declared: Optional[FrozenSet[str]] = None
+    #: True when decorated ``@observation_only``.
+    obs_only: bool = False
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+    @property
+    def first_lineno(self) -> int:
+        """First source line of the def, decorators included."""
+        decs = self.node.decorator_list
+        return min([self.node.lineno] + [d.lineno for d in decs])
+
+
+@dataclass
+class ClassInfo:
+    """One class defined in the repo."""
+
+    qualname: str
+    module: str
+    name: str
+    #: Base-class expressions as written (resolved lazily by the graph).
+    base_names: List[str] = field(default_factory=list)
+    #: Resolved repo base classes (qualnames), in MRO-ish DFS order.
+    bases: List[str] = field(default_factory=list)
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: Inferred attribute types: attr name -> type qualname.
+    attr_types: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module."""
+
+    name: str
+    path: str
+    tree: ast.Module
+    source: str
+    #: Local name -> dotted target ("repro.x.Cls", "repro.x" or "random").
+    imports: Dict[str, str] = field(default_factory=dict)
+    #: Top-level (and nested) functions defined here, by qualname.
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: Classes defined here, by bare name.
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _decorator_name(dec: ast.expr) -> Optional[str]:
+    """Trailing name of a decorator expression (``effects`` for
+    ``@check.effects(...)`` and ``@effects(...)`` alike)."""
+    target = dec.func if isinstance(dec, ast.Call) else dec
+    dotted = _dotted(target)
+    if dotted is None:
+        return None
+    return dotted.rpartition(".")[2]
+
+
+def _contract_of(node: ast.FunctionDef | ast.AsyncFunctionDef,
+                 ) -> Tuple[Optional[FrozenSet[str]], bool]:
+    """(declared effect set, observation_only) from the decorator list."""
+    declared: Optional[FrozenSet[str]] = None
+    obs = False
+    for dec in node.decorator_list:
+        name = _decorator_name(dec)
+        if name == "observation_only":
+            obs = True
+        elif name == "effects" and isinstance(dec, ast.Call):
+            names = {a.value for a in dec.args
+                     if isinstance(a, ast.Constant) and isinstance(a.value, str)}
+            declared = frozenset(names)
+    return declared, obs
+
+
+class CallGraph:
+    """All modules under one root, with cross-module name resolution."""
+
+    def __init__(self, root: Path) -> None:
+        #: Root package directory (the ``repro`` package itself).
+        self.root = root
+        self.root_package = root.name
+        self.modules: Dict[str, ModuleInfo] = {}
+        #: Every class in the repo, by qualified name.
+        self.classes: Dict[str, ClassInfo] = {}
+        #: Every function in the repo, by qualified name.
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: class qualname -> direct repo subclasses' qualnames.
+        self.subclasses: Dict[str, List[str]] = {}
+        #: method name -> classes defining it (conservative dispatch aid).
+        self._method_index: Dict[str, List[str]] = {}
+
+    # ------------------------------------------------------------------ build
+    @classmethod
+    def build(cls, root: Path) -> "CallGraph":
+        graph = cls(root)
+        for path in sorted(root.rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            graph._index_module(path)
+        graph._resolve_bases()
+        graph._infer_attr_types()
+        return graph
+
+    def _module_name(self, path: Path) -> str:
+        rel = path.relative_to(self.root)
+        parts = [self.root_package, *rel.parts]
+        if parts[-1] == "__init__.py":
+            parts = parts[:-1]
+        else:
+            parts[-1] = parts[-1][:-3]
+        return ".".join(parts)
+
+    def _index_module(self, path: Path) -> None:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        mod = ModuleInfo(name=self._module_name(path), path=str(path),
+                         tree=tree, source=source)
+        self.modules[mod.name] = mod
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    target = alias.name if alias.asname else \
+                        alias.name.split(".", 1)[0]
+                    mod.imports[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                base = node.module or ""
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    mod.imports[alias.asname or alias.name] = \
+                        f"{base}.{alias.name}" if base else alias.name
+        self._index_scope(mod, tree.body, prefix=mod.name, cls=None,
+                          parent=None)
+
+    def _index_scope(self, mod: ModuleInfo, body: List[ast.stmt], *,
+                     prefix: str, cls: Optional[ClassInfo],
+                     parent: Optional[str]) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}.{node.name}"
+                declared, obs = _contract_of(node)
+                info = FunctionInfo(
+                    qualname=qual, module=mod.name, path=mod.path,
+                    name=node.name, node=node, cls=cls, parent=parent,
+                    declared=declared, obs_only=obs)
+                self.functions[qual] = info
+                mod.functions[qual] = info
+                if cls is not None and parent is None:
+                    cls.methods[node.name] = info
+                # Nested defs become their own nodes under <locals>.
+                self._index_scope(mod, node.body,
+                                  prefix=f"{qual}.<locals>", cls=cls,
+                                  parent=qual)
+            elif isinstance(node, ast.ClassDef) and cls is None and \
+                    parent is None:
+                qual = f"{prefix}.{node.name}"
+                cinfo = ClassInfo(qualname=qual, module=mod.name,
+                                  name=node.name)
+                for base in node.bases:
+                    dotted = _dotted(base)
+                    if dotted is not None:
+                        cinfo.base_names.append(dotted)
+                self.classes[qual] = cinfo
+                mod.classes[node.name] = cinfo
+                self._index_scope(mod, node.body, prefix=qual, cls=cinfo,
+                                  parent=None)
+            elif isinstance(node, (ast.If, ast.Try, ast.With)):
+                # Conditionally-defined module-level functions still count.
+                for sub in ast.iter_child_nodes(node):
+                    if isinstance(sub, ast.stmt):
+                        self._index_scope(mod, [sub], prefix=prefix, cls=cls,
+                                          parent=parent)
+
+    # ------------------------------------------------------- name resolution
+    def resolve_name(self, mod: ModuleInfo, dotted: str) -> Optional[str]:
+        """Resolve a dotted name used in ``mod`` to a global qualname.
+
+        Returns a class/function qualname, a module name, or an external
+        dotted name (``random.Random``); None when nothing matches.
+        """
+        head, _, rest = dotted.partition(".")
+        # Local class or function?
+        if head in mod.classes:
+            return self._member(mod.classes[head].qualname, rest)
+        local_fn = f"{mod.name}.{head}"
+        if local_fn in self.functions and not rest:
+            return local_fn
+        target = mod.imports.get(head)
+        if target is None:
+            return None
+        full = f"{target}.{rest}" if rest else target
+        return self._canonical(full)
+
+    def _member(self, qual: str, rest: str) -> str:
+        return f"{qual}.{rest}" if rest else qual
+
+    def _canonical(self, dotted: str) -> str:
+        """Map a dotted path onto a known class/function/module if possible."""
+        if dotted in self.classes or dotted in self.functions or \
+                dotted in self.modules:
+            return dotted
+        # repro.table.merge.merge_runs style: module prefix + member.
+        head, _, tail = dotted.rpartition(".")
+        if head in self.modules:
+            mod = self.modules[head]
+            if tail in mod.classes:
+                return mod.classes[tail].qualname
+            fn = f"{head}.{tail}"
+            if fn in self.functions:
+                return fn
+            # Re-exported name (package __init__): follow one hop.
+            reexport = mod.imports.get(tail)
+            if reexport is not None and reexport != dotted:
+                return self._canonical(reexport)
+        return dotted
+
+    def resolve_class(self, mod: ModuleInfo, dotted: str) -> Optional[str]:
+        resolved = self.resolve_name(mod, dotted)
+        if resolved is not None and resolved in self.classes:
+            return resolved
+        if dotted in _EXTERNAL_CONSTRUCTORS:
+            return _EXTERNAL_CONSTRUCTORS[dotted]
+        if resolved in RNG_TYPES:
+            return resolved
+        return None
+
+    # ----------------------------------------------------------- class layer
+    def _resolve_bases(self) -> None:
+        for cinfo in self.classes.values():
+            mod = self.modules[cinfo.module]
+            for base_name in cinfo.base_names:
+                base = self.resolve_class(mod, base_name)
+                if base is not None and base in self.classes:
+                    cinfo.bases.append(base)
+                    self.subclasses.setdefault(base, []).append(
+                        cinfo.qualname)
+        for cinfo in self.classes.values():
+            for name in cinfo.methods:
+                self._method_index.setdefault(name, []).append(
+                    cinfo.qualname)
+
+    def mro(self, qual: str) -> Iterator[ClassInfo]:
+        """DFS over the repo part of the class hierarchy (cycle-safe)."""
+        seen: Set[str] = set()
+        stack = [qual]
+        while stack:
+            cur = stack.pop(0)
+            if cur in seen or cur not in self.classes:
+                continue
+            seen.add(cur)
+            cinfo = self.classes[cur]
+            yield cinfo
+            stack.extend(cinfo.bases)
+
+    def all_subclasses(self, qual: str) -> Iterator[str]:
+        seen: Set[str] = set()
+        stack = list(self.subclasses.get(qual, ()))
+        while stack:
+            cur = stack.pop()
+            if cur in seen:
+                continue
+            seen.add(cur)
+            yield cur
+            stack.extend(self.subclasses.get(cur, ()))
+
+    def resolve_method(self, cls_qual: str, method: str) -> List[FunctionInfo]:
+        """Targets of ``obj.method()`` when ``obj``'s static type is known.
+
+        The first definition found along the MRO, plus every override in a
+        repo subclass of the static type (conservative dynamic dispatch).
+        """
+        targets: List[FunctionInfo] = []
+        for cinfo in self.mro(cls_qual):
+            if method in cinfo.methods:
+                targets.append(cinfo.methods[method])
+                break
+        for sub in self.all_subclasses(cls_qual):
+            sub_info = self.classes[sub]
+            if method in sub_info.methods:
+                targets.append(sub_info.methods[method])
+        return targets
+
+    def attr_type(self, cls_qual: str, attr: str) -> Optional[str]:
+        for cinfo in self.mro(cls_qual):
+            if attr in cinfo.attr_types:
+                return cinfo.attr_types[attr]
+        return None
+
+    # ----------------------------------------------------- annotation layer
+    def resolve_annotation(self, mod: ModuleInfo,
+                           ann: Optional[ast.expr]) -> Optional[str]:
+        """Type qualname for an annotation expression, unwrapping Optional
+        and string ("forward reference") annotations."""
+        if ann is None:
+            return None
+        if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+            try:
+                ann = ast.parse(ann.value, mode="eval").body
+            except SyntaxError:
+                return None
+        if isinstance(ann, ast.Subscript):
+            dotted = _dotted(ann.value)
+            if dotted is not None and dotted.rpartition(".")[2] in (
+                    "Optional", "Final", "ClassVar"):
+                inner = ann.slice
+                return self.resolve_annotation(mod, inner)
+            return None
+        dotted = _dotted(ann)
+        if dotted is None:
+            return None
+        return self.resolve_class(mod, dotted)
+
+    def _infer_attr_types(self) -> None:
+        for cinfo in self.classes.values():
+            mod = self.modules[cinfo.module]
+            # Dataclass-style class-level annotations.
+            class_node = self._class_node(cinfo)
+            if class_node is not None:
+                for stmt in class_node.body:
+                    if isinstance(stmt, ast.AnnAssign) and \
+                            isinstance(stmt.target, ast.Name):
+                        t = self.resolve_annotation(mod, stmt.annotation)
+                        if t is not None:
+                            cinfo.attr_types.setdefault(stmt.target.id, t)
+            for method in cinfo.methods.values():
+                params = self._param_types(mod, method)
+                for stmt in ast.walk(method.node):
+                    target: Optional[ast.expr] = None
+                    value: Optional[ast.expr] = None
+                    if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                        target, value = stmt.targets[0], stmt.value
+                    elif isinstance(stmt, ast.AnnAssign):
+                        target = stmt.target
+                        ann_t = self.resolve_annotation(mod, stmt.annotation)
+                        if ann_t is not None and \
+                                self._is_self_attr(target) is not None:
+                            attr = self._is_self_attr(target)
+                            if attr is not None:
+                                cinfo.attr_types.setdefault(attr, ann_t)
+                        value = stmt.value
+                    if target is None or value is None:
+                        continue
+                    attr = self._is_self_attr(target)
+                    if attr is None or attr in cinfo.attr_types:
+                        continue
+                    t = self._expr_type_shallow(mod, cinfo, params, value)
+                    if t is not None:
+                        cinfo.attr_types[attr] = t
+
+    def _class_node(self, cinfo: ClassInfo) -> Optional[ast.ClassDef]:
+        mod = self.modules[cinfo.module]
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.ClassDef) and node.name == cinfo.name:
+                return node
+        return None
+
+    @staticmethod
+    def _is_self_attr(target: ast.expr) -> Optional[str]:
+        if isinstance(target, ast.Attribute) and \
+                isinstance(target.value, ast.Name) and \
+                target.value.id == "self":
+            return target.attr
+        return None
+
+    def _param_types(self, mod: ModuleInfo,
+                     fn: FunctionInfo) -> Dict[str, str]:
+        out: Dict[str, str] = {}
+        args = fn.node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            t = self.resolve_annotation(mod, arg.annotation)
+            if t is not None:
+                out[arg.arg] = t
+        return out
+
+    def _expr_type_shallow(self, mod: ModuleInfo, cinfo: Optional[ClassInfo],
+                           params: Dict[str, str],
+                           expr: ast.expr) -> Optional[str]:
+        """Type of an rvalue for attribute inference (no local tracking)."""
+        if isinstance(expr, ast.IfExp):
+            return (self._expr_type_shallow(mod, cinfo, params, expr.body) or
+                    self._expr_type_shallow(mod, cinfo, params, expr.orelse))
+        if isinstance(expr, ast.Name):
+            if expr.id in params:
+                return params[expr.id]
+            return None
+        if isinstance(expr, ast.Call):
+            dotted = _dotted(expr.func)
+            if dotted is None:
+                return None
+            cls = self.resolve_class(mod, dotted)
+            if cls is not None:
+                return cls
+            resolved = self.resolve_name(mod, dotted)
+            if resolved in self.functions:
+                fn = self.functions[resolved]
+                fn_mod = self.modules[fn.module]
+                return self.resolve_annotation(fn_mod, fn.node.returns)
+            return None
+        if isinstance(expr, ast.Attribute):
+            base_t = self._expr_type_shallow(mod, cinfo, params, expr.value)
+            if base_t is not None:
+                return self.attr_type(base_t, expr.attr)
+            if isinstance(expr.value, ast.Name) and \
+                    expr.value.id == "self" and cinfo is not None:
+                return self.attr_type(cinfo.qualname, expr.attr)
+            return None
+        return None

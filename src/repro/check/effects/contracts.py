@@ -1,0 +1,351 @@
+"""Contract checking over the inferred effect table (REP100-series).
+
+=========  ===========================================================
+REP100     inferred effects exceed the ``@effects(...)`` declaration
+REP101     ``@observation_only`` subtree has a forbidden effect
+REP102     raw ``SimDisk`` costing call outside ``repro.storage``
+REP103     RNG that does not descend from an explicit seed
+REP104     tracer ``begin`` not balanced by ``end`` on every path
+REP105     host wall-clock read without an ``@effects("HOST_TIME")``
+=========  ===========================================================
+
+REP104 is the only *intra*-procedural check: it walks a simplified CFG of
+any function that opens or closes spans directly and verifies the net
+open-count is zero on every explicit path (fall-through and every
+``return``).  Functions that declare ``SPAN_BEGIN`` / ``SPAN_END`` are
+deliberately one-sided (the background pool opens a job span at activation
+and closes it at retire) and are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.check.effects.callgraph import CallGraph, FunctionInfo
+from repro.check.effects.infer import EffectInfo
+from repro.check.effects.registry import (
+    DECLARED_CONTRACTS,
+    HOST_TIME,
+    OBSERVATION_FORBIDDEN,
+    OBSERVATION_ONLY_PREFIXES,
+    SPAN_BEGIN,
+    SPAN_END,
+)
+
+#: Rule catalog: id -> one-line description.
+EFFECT_RULES: Dict[str, str] = {
+    "REP100": "inferred effects exceed the function's @effects(...) "
+              "declaration",
+    "REP101": "@observation_only function reaches a clock/charge/RNG/"
+              "host-time effect",
+    "REP102": "raw SimDisk costing call outside repro.storage; go through "
+              "a Runtime charging wrapper",
+    "REP103": "RNG does not descend from an explicit seed (bare Random()/"
+              "default_rng() or module-global draw)",
+    "REP104": "tracer span begin not balanced by end on every explicit "
+              "path in the function",
+    "REP105": "host wall-clock read without an @effects(\"HOST_TIME\") "
+              "declaration",
+}
+
+
+@dataclass(frozen=True)
+class EffectFinding:
+    """One effects-gate finding."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    function: str
+    message: str
+    #: Extra source lines whose ``# repro: noqa-REPxxx`` also suppresses
+    #: this finding (the decorator range of the annotated def).
+    noqa_lines: Tuple[int, ...] = ()
+
+    def format(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: {self.rule} "
+                f"[{self.function}] {self.message}")
+
+
+def _is_observation_only(fn: FunctionInfo) -> bool:
+    if fn.obs_only:
+        return True
+    return any(fn.qualname.startswith(prefix)
+               for prefix in OBSERVATION_ONLY_PREFIXES)
+
+
+def _declared_contract(fn: FunctionInfo) -> Optional[FrozenSet[str]]:
+    if fn.declared is not None:
+        return fn.declared
+    return DECLARED_CONTRACTS.get(fn.qualname)
+
+
+def witness_path(table: Dict[str, EffectInfo], start: str,
+                 effect: str) -> List[str]:
+    """Shortest call chain from ``start`` to a leaf carrying ``effect``."""
+    parent: Dict[str, Optional[str]] = {start: None}
+    queue = [start]
+    goal: Optional[str] = None
+    while queue:
+        cur = queue.pop(0)
+        eff = table.get(cur)
+        if eff is None:
+            continue
+        if effect in eff.leaf_effects:
+            goal = cur
+            break
+        for callee in sorted(eff.callees):
+            if callee not in parent and callee in table and \
+                    effect in table[callee].inferred:
+                parent[callee] = cur
+                queue.append(callee)
+    if goal is None:
+        return [start]
+    chain: List[str] = []
+    node: Optional[str] = goal
+    while node is not None:
+        chain.append(node)
+        node = parent[node]
+    return list(reversed(chain))
+
+
+def _short(qual: str) -> str:
+    """Trailing two path components of a qualname, for readable chains."""
+    parts = qual.split(".")
+    return ".".join(parts[-2:]) if len(parts) > 2 else qual
+
+
+def _chain_str(chain: List[str]) -> str:
+    return " -> ".join(_short(q) for q in chain)
+
+
+# --------------------------------------------------------------- REP104 CFG
+class _SpanBalance:
+    """Net span-delta analysis over a simplified CFG.
+
+    Tracks the set of possible ``begin - end`` counts along explicit
+    control flow.  Exception edges are not modeled (the runtime closes
+    abandoned spans with synthetic ends); widening caps the set size so
+    pathological functions simply opt out of the check.
+    """
+
+    _CAP = 16
+
+    def __init__(self, deltas: Dict[Tuple[int, int], int]) -> None:
+        #: (lineno, col) of a span call -> +1 (begin) / -1 (end).
+        self.deltas = deltas
+        self.return_deltas: Set[int] = set()
+        self.bailed = False
+
+    def _stmt_calls(self, stmt: ast.stmt) -> int:
+        """Sum of span deltas in one simple statement."""
+        total = 0
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(node, ast.Call):
+                total += self.deltas.get(
+                    (node.lineno, node.col_offset), 0)
+        return total
+
+    def _widen(self, s: Set[int]) -> Set[int]:
+        if len(s) > self._CAP:
+            self.bailed = True
+            return {0}
+        return s
+
+    def seq(self, body: List[ast.stmt], entry: int = 0) -> Set[int]:
+        """Possible *absolute* fall-through deltas of a statement sequence.
+
+        ``entry`` is the delta already accumulated when control reaches
+        the sequence, so a ``return`` inside a nested branch records the
+        true absolute count (a begin leaked before an early return is an
+        imbalance even though the branch's own delta is zero).
+        """
+        state: Set[int] = {entry}
+        for stmt in body:
+            if not state:
+                break  # all paths returned/raised
+            state = self._widen({s + d for s in state
+                                 for d in self.stmt(stmt, s)})
+        return state
+
+    def stmt(self, stmt: ast.stmt, entry: int) -> Set[int]:
+        """Possible deltas *added by* one statement; records returns."""
+        if isinstance(stmt, ast.Return):
+            d = self._stmt_calls(stmt)
+            self.return_deltas.add(entry + d)
+            return set()
+        if isinstance(stmt, ast.Raise):
+            return set()
+        if isinstance(stmt, ast.If):
+            t = self._test_delta(stmt.test)
+            out = self.seq(stmt.body, entry + t)
+            out |= self.seq(stmt.orelse, entry + t)
+            return self._widen({o - entry for o in out})
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            body = {b - entry for b in self.seq(stmt.body, entry)}
+            if any(d != 0 for d in body):
+                # A net-nonzero loop body is unbalanced for some iteration
+                # count; surface it as an imbalance at the loop head.
+                self.return_deltas.add(entry + next(
+                    d for d in sorted(body) if d != 0))
+            reps = {0} | body
+            orelse = {o - entry for o in self.seq(stmt.orelse, entry)}
+            return self._widen(reps | {b + e for b in reps for e in orelse})
+        if isinstance(stmt, ast.Try):
+            body = {b - entry for b in self.seq(stmt.body, entry)}
+            paths: Set[int] = set(body)
+            for handler in stmt.handlers:
+                paths |= {h - entry
+                          for h in self.seq(handler.body, entry)}
+            if stmt.orelse:
+                paths |= {b + o - entry for b in body
+                          for o in self.seq(stmt.orelse, entry)}
+            if stmt.finalbody:
+                fins = {f - entry for f in self.seq(stmt.finalbody, entry)}
+                paths = {p + f for p in (paths or {0}) for f in fins}
+            return self._widen(paths or {0})
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            base = self._stmt_calls_items(stmt)
+            return self._widen({o - entry
+                                for o in self.seq(stmt.body, entry + base)})
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return {0}
+        match_type = getattr(ast, "Match", None)
+        if match_type is not None and isinstance(stmt, match_type):
+            out: Set[int] = {0}
+            for case in stmt.cases:  # type: ignore[attr-defined]
+                out |= {c - entry for c in self.seq(case.body, entry)}
+            return self._widen(out)
+        return {self._stmt_calls(stmt)}
+
+    def _test_delta(self, test: ast.expr) -> int:
+        total = 0
+        for node in ast.walk(test):
+            if isinstance(node, ast.Call):
+                total += self.deltas.get((node.lineno, node.col_offset), 0)
+        return total
+
+    def _stmt_calls_items(self, stmt: "ast.With | ast.AsyncWith") -> int:
+        total = 0
+        for item in stmt.items:
+            for node in ast.walk(item):
+                if isinstance(node, ast.Call):
+                    total += self.deltas.get(
+                        (node.lineno, node.col_offset), 0)
+        return total
+
+    def check(self, fn_body: List[ast.stmt]) -> List[int]:
+        """Unbalanced exit deltas (empty when every path nets zero)."""
+        falls = self.seq(fn_body)
+        if self.bailed:
+            return []
+        bad = sorted(d for d in falls | self.return_deltas if d != 0)
+        return bad
+
+
+def _check_span_balance(eff: EffectInfo) -> Optional[EffectFinding]:
+    fn = eff.fn
+    declared = _declared_contract(fn) or frozenset()
+    if SPAN_BEGIN in declared or SPAN_END in declared:
+        return None
+    deltas: Dict[Tuple[int, int], int] = {}
+    for site in eff.leaves:
+        if site.kind == "span-begin":
+            deltas[(site.lineno, site.col)] = 1
+        elif site.kind == "span-end":
+            deltas[(site.lineno, site.col)] = -1
+    if not deltas:
+        return None
+    analysis = _SpanBalance(deltas)
+    bad = analysis.check(fn.node.body)
+    if not bad:
+        return None
+    return EffectFinding(
+        rule="REP104", path=fn.path, line=fn.lineno, col=fn.node.col_offset,
+        function=fn.qualname,
+        message=(f"span begin/end unbalanced: net delta(s) "
+                 f"{', '.join(str(d) for d in bad)} on some explicit path; "
+                 f"declare @effects(\"SPAN_BEGIN\"/\"SPAN_END\") if the "
+                 f"span is closed elsewhere"),
+        noqa_lines=tuple(range(fn.first_lineno, fn.lineno + 1)))
+
+
+# ------------------------------------------------------------------- driver
+def check_contracts(graph: CallGraph,
+                    table: Dict[str, EffectInfo]) -> List[EffectFinding]:
+    findings: List[EffectFinding] = []
+    for qual in sorted(table):
+        eff = table[qual]
+        fn = eff.fn
+        def_lines = tuple(range(fn.first_lineno, fn.lineno + 1))
+        declared = _declared_contract(fn)
+
+        # REP100 -- declaration must cover everything inferred.
+        if declared is not None:
+            extra = eff.inferred - declared
+            if extra:
+                chains = "; ".join(
+                    f"{e} via {_chain_str(witness_path(table, qual, e))}"
+                    for e in sorted(extra))
+                findings.append(EffectFinding(
+                    rule="REP100", path=fn.path, line=fn.lineno,
+                    col=fn.node.col_offset, function=qual,
+                    message=f"undeclared effect(s): {chains}",
+                    noqa_lines=def_lines))
+
+        # REP101 -- observation-only subtrees must not perturb.
+        if _is_observation_only(fn):
+            bad = eff.inferred & OBSERVATION_FORBIDDEN
+            if bad:
+                chains = "; ".join(
+                    f"{e} via {_chain_str(witness_path(table, qual, e))}"
+                    for e in sorted(bad))
+                findings.append(EffectFinding(
+                    rule="REP101", path=fn.path, line=fn.lineno,
+                    col=fn.node.col_offset, function=qual,
+                    message=f"observation-only contract violated: {chains}",
+                    noqa_lines=def_lines))
+
+        # REP102 -- raw device calls stay inside the storage package.
+        if not fn.module.startswith("repro.storage"):
+            for site in eff.leaves:
+                if site.kind == "raw-device":
+                    findings.append(EffectFinding(
+                        rule="REP102", path=fn.path, line=site.lineno,
+                        col=site.col, function=qual,
+                        message=f"{site.detail}; charge through "
+                                f"Runtime.fg_read_blocks/bg_write_run/"
+                                f"bg_read_run instead"))
+                    break  # one finding per function is enough
+
+        # REP103 -- randomness descends from an explicit seed.
+        for site in eff.leaves:
+            if site.kind in ("rng-global", "rng-unseeded"):
+                findings.append(EffectFinding(
+                    rule="REP103", path=fn.path, line=site.lineno,
+                    col=site.col, function=qual, message=site.detail))
+
+        # REP104 -- span balance.
+        span_finding = _check_span_balance(eff)
+        if span_finding is not None:
+            findings.append(span_finding)
+
+        # REP105 -- host time must be declared.
+        if declared is None or HOST_TIME not in declared:
+            for site in eff.leaves:
+                if site.kind == "host-time":
+                    findings.append(EffectFinding(
+                        rule="REP105", path=fn.path, line=site.lineno,
+                        col=site.col, function=qual,
+                        message=f"{site.detail}; declare "
+                                f"@effects(\"HOST_TIME\") on the harness "
+                                f"function or use the simulated clock",
+                        noqa_lines=def_lines))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings

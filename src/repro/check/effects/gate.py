@@ -1,0 +1,286 @@
+"""The effects-gate driver: suppressions, baseline, report, explanations.
+
+``run_effects_gate`` builds the call graph, runs inference and contract
+checking, then filters the findings in two layers:
+
+1. **noqa** -- ``# repro: noqa-REPxxx`` on the finding's line (or on any
+   line of the annotated def's decorator block) and file-level
+   ``# repro: noqa-file-REPxxx`` markers, exactly like the determinism
+   lint.
+2. **baseline** -- the committed ``baseline.json`` next to this module
+   grandfathers known violations by (rule, function qualname); each entry
+   carries a written justification.  Baselined findings PASS the normal
+   gate, FAIL under ``--strict`` (the weekly CI variant), and entries
+   that no longer match anything are reported stale so the baseline can
+   only shrink.
+
+The JSON report (``--effects-report``) is a deterministic CI artifact:
+summary counts, the per-function effect table, active/baselined findings
+and stale baseline entries.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.check.diagnostics import (
+    NoqaIndex,
+    parse_noqa,
+    relativize_path,
+    sort_findings,
+)
+from repro.check.effects.callgraph import CallGraph
+from repro.check.effects.contracts import (
+    EFFECT_RULES,
+    EffectFinding,
+    check_contracts,
+)
+from repro.check.effects.infer import EffectInfo, infer_effects
+
+#: Long-form rule explanations for ``repro check --explain REPxxx``.
+EXPLANATIONS: Dict[str, str] = {
+    "REP100": """\
+REP100: inferred effects exceed the @effects(...) declaration.
+
+A function decorated @effects("DISK_CHARGE") claims its whole call
+subtree does nothing but charge the simulated device.  The fixpoint
+inference found additional effects (the message shows one witness call
+chain per effect).  Either the declaration is stale -- extend it -- or
+the function grew a side effect it must not have -- fix the callee.
+Declarations are contracts, not documentation: they are what the
+compaction-explorer and stability-scheduler tooling will rely on to
+prove two policies are compared under identical charging rules.""",
+    "REP101": """\
+REP101: an @observation_only function reaches a forbidden effect.
+
+Observation-only code (stats(), invariant walks, the sanitizer, trace
+exporters, scan planning) may read anything and build its own buffers,
+but must never advance the simulated clock, charge device or network
+time, draw randomness, or read the host clock: observers that perturb
+the run make every A/B comparison in the paper unsound.  The message
+shows a witness call chain to the offending intrinsic.  Fix the callee,
+take the observation out of the charged path, or -- if the charge is the
+point -- remove the @observation_only contract.""",
+    "REP102": """\
+REP102: raw SimDisk costing call outside repro.storage.
+
+SimDisk.fg_io / fg_stream / bg_grant / bg_count / sync_drain are the
+device intrinsics; every byte and every second of simulated device time
+must flow through the Runtime charging wrappers (fg_read_blocks,
+bg_write_run, bg_read_run, stall_on) so write amplification, read
+amplification and stall accounting stay complete.  A raw call from
+engine or cluster code bypasses the metrics and the page cache.""",
+    "REP103": """\
+REP103: randomness that does not descend from an explicit seed.
+
+Every RNG in the simulation must be a random.Random(seed) or
+numpy default_rng(seed) instance whose seed is reachable from the
+run's configuration; bare Random()/default_rng() pull OS entropy and
+module-global random.* draws share one process-wide stream -- both make
+two runs with the same options diverge.  Thread the seed in as a
+parameter (see repro.workloads for the pattern).""",
+    "REP104": """\
+REP104: tracer span begin without a balancing end on every path.
+
+Spans are begin/end pairs keyed by job id; an unmatched begin corrupts
+the Chrome trace (Perfetto refuses unbalanced async events) and breaks
+the span-balance invariant the obs tests assert.  Close the span on
+every explicit path (including early returns), or -- when the design
+opens a span in one function and closes it in another, like the
+background pool's activate/retire pair -- declare the one-sided half
+with @effects("SPAN_BEGIN") / @effects("SPAN_END").""",
+    "REP105": """\
+REP105: host wall-clock read without an @effects("HOST_TIME") contract.
+
+The simulated clock is the only time source for results; host timers are
+legitimate solely in the bench harness, where they measure *this
+machine*, never the simulation.  Declaring @effects("HOST_TIME") marks
+the function as harness code and keeps the effect visible to callers;
+an undeclared read is almost always a bug that makes output depend on
+wall-clock speed.""",
+}
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered violation."""
+
+    rule: str
+    function: str
+    reason: str
+
+
+@dataclass
+class EffectsResult:
+    """Outcome of one effects-gate run."""
+
+    #: Findings that fail the gate (not suppressed, not baselined).
+    findings: List[EffectFinding] = field(default_factory=list)
+    #: Findings matched by a baseline entry (fail only under --strict).
+    baselined: List[Tuple[EffectFinding, BaselineEntry]] = \
+        field(default_factory=list)
+    #: Baseline entries that matched nothing (the debt shrank; clean up).
+    stale_baseline: List[BaselineEntry] = field(default_factory=list)
+    #: Per-function inferred effects (report payload).
+    table: Dict[str, EffectInfo] = field(default_factory=dict)
+    n_functions: int = 0
+    n_edges: int = 0
+    n_contracts: int = 0
+    n_suppressed: int = 0
+    strict: bool = False
+
+    @property
+    def ok(self) -> bool:
+        if self.findings:
+            return False
+        return not (self.strict and self.baselined)
+
+    def summary_line(self) -> str:
+        return (f"{self.n_functions} functions, {self.n_edges} call edges, "
+                f"{self.n_contracts} contracts, "
+                f"{len(self.findings)} violation(s), "
+                f"{len(self.baselined)} baselined")
+
+    def to_json(self, root: Optional[Path] = None) -> Dict[str, object]:
+        """Deterministic report dict (the CI artifact)."""
+        def finding_dict(f: EffectFinding) -> Dict[str, object]:
+            return {"rule": f.rule, "path": relativize_path(f.path, root),
+                    "line": f.line, "col": f.col, "function": f.function,
+                    "message": f.message}
+
+        effects_by_fn = {
+            qual: sorted(eff.inferred)
+            for qual, eff in sorted(self.table.items()) if eff.inferred}
+        contracts = {
+            qual: {"declared": sorted(eff.fn.declared or ()),
+                   "observation_only": eff.fn.obs_only}
+            for qual, eff in sorted(self.table.items())
+            if eff.fn.declared is not None or eff.fn.obs_only}
+        return {
+            "summary": {
+                "functions": self.n_functions,
+                "call_edges": self.n_edges,
+                "contracts": self.n_contracts,
+                "violations": len(self.findings),
+                "baselined": len(self.baselined),
+                "stale_baseline": len(self.stale_baseline),
+                "suppressed": self.n_suppressed,
+                "strict": self.strict,
+                "ok": self.ok,
+            },
+            "findings": [finding_dict(f) for f in self.findings],
+            "baselined": [
+                {**finding_dict(f), "reason": entry.reason}
+                for f, entry in self.baselined],
+            "stale_baseline": [
+                {"rule": e.rule, "function": e.function, "reason": e.reason}
+                for e in self.stale_baseline],
+            "effects": effects_by_fn,
+            "declared_contracts": contracts,
+        }
+
+
+def baseline_path() -> Path:
+    """The committed baseline file (lives next to this module)."""
+    return Path(__file__).resolve().parent / "baseline.json"
+
+
+def load_baseline(path: Optional[Path] = None) -> List[BaselineEntry]:
+    path = path if path is not None else baseline_path()
+    if not path.is_file():
+        return []
+    raw = json.loads(path.read_text(encoding="utf-8"))
+    return [BaselineEntry(rule=e["rule"], function=e["function"],
+                          reason=e.get("reason", ""))
+            for e in raw]
+
+
+def default_effects_root() -> Path:
+    import repro
+    return Path(repro.__file__).resolve().parent
+
+
+def run_effects_gate(root: Optional[Path] = None, *, strict: bool = False,
+                     baseline: Optional[Path] = None) -> EffectsResult:
+    """Run the whole pass over ``root`` (default: the installed repro pkg)."""
+    root = root if root is not None else default_effects_root()
+    graph = CallGraph.build(root)
+    table = infer_effects(graph)
+    raw_findings = check_contracts(graph, table)
+
+    # Layer 1: noqa suppressions from the finding's own source file.
+    noqa_cache: Dict[str, NoqaIndex] = {}
+    kept: List[EffectFinding] = []
+    n_suppressed = 0
+    for finding in raw_findings:
+        index = noqa_cache.get(finding.path)
+        if index is None:
+            source = Path(finding.path).read_text(encoding="utf-8")
+            index = parse_noqa(source)
+            noqa_cache[finding.path] = index
+        if index.is_suppressed(finding.rule, finding.line,
+                               finding.noqa_lines):
+            n_suppressed += 1
+            continue
+        kept.append(finding)
+
+    # Layer 2: the committed baseline.
+    entries = load_baseline(baseline)
+    by_key: Dict[Tuple[str, str], BaselineEntry] = {
+        (e.rule, e.function): e for e in entries}
+    matched: Dict[Tuple[str, str], bool] = {k: False for k in by_key}
+    active: List[EffectFinding] = []
+    baselined: List[Tuple[EffectFinding, BaselineEntry]] = []
+    for finding in kept:
+        key = (finding.rule, finding.function)
+        entry = by_key.get(key)
+        if entry is not None:
+            matched[key] = True
+            baselined.append((finding, entry))
+        else:
+            active.append(finding)
+    stale = [by_key[k] for k in sorted(by_key) if not matched[k]]
+
+    result = EffectsResult(
+        findings=sort_findings(active),
+        baselined=baselined,
+        stale_baseline=stale,
+        table=table,
+        n_functions=len(table),
+        n_edges=sum(len(e.callees) for e in table.values()),
+        n_contracts=sum(1 for e in table.values()
+                        if e.fn.declared is not None or e.fn.obs_only),
+        n_suppressed=n_suppressed,
+        strict=strict)
+    return result
+
+
+def explain(rule: str) -> Optional[str]:
+    """Long-form explanation for ``repro check --explain REPxxx``."""
+    if rule in EXPLANATIONS:
+        return EXPLANATIONS[rule]
+    return None
+
+
+def write_report(result: EffectsResult, path: str,
+                 root: Optional[Path] = None) -> None:
+    """Write the deterministic JSON report to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(result.to_json(root), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+__all__ = [
+    "BaselineEntry",
+    "EffectsResult",
+    "EFFECT_RULES",
+    "EXPLANATIONS",
+    "baseline_path",
+    "explain",
+    "load_baseline",
+    "run_effects_gate",
+    "write_report",
+]

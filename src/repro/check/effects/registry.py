@@ -1,0 +1,107 @@
+"""Effect names and the contract decorators (the only runtime surface).
+
+Everything else in :mod:`repro.check.effects` is a static analyzer that
+reads source text; this module is what engine code imports.  Both
+decorators are *identity* functions: they attach metadata attributes used
+by tests and tooling and return the function object itself, so decorating
+a function provably cannot change its behavior (see
+``tests/test_check_effects.py::test_decorators_are_identity``).
+
+The analyzer does not import the decorated modules -- it recognizes the
+decorators syntactically -- so the metadata attributes exist purely for
+runtime introspection and the behavior-equivalence proof.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Tuple, TypeVar
+
+#: The function's call subtree advances the simulated clock.
+CLOCK_ADVANCE = "CLOCK_ADVANCE"
+#: The subtree charges simulated device time or bytes (SimDisk).
+DISK_CHARGE = "DISK_CHARGE"
+#: The subtree reserves simulated network link time or bytes (SimNetwork).
+NET_CHARGE = "NET_CHARGE"
+#: The subtree draws from a random number generator.
+RNG_DRAW = "RNG_DRAW"
+#: The subtree reads the host wall clock (bench harness only).
+HOST_TIME = "HOST_TIME"
+#: The subtree opens a tracer span directly (begin without a local end).
+SPAN_BEGIN = "SPAN_BEGIN"
+#: The subtree closes a tracer span directly (end without a local begin).
+SPAN_END = "SPAN_END"
+#: The subtree mutates non-local state (attribute/subscript stores).
+STATE_MUTATE = "STATE_MUTATE"
+
+#: Every effect the lattice tracks (the lattice is the powerset of this,
+#: ordered by inclusion; join is set union).
+ALL_EFFECTS: FrozenSet[str] = frozenset({
+    CLOCK_ADVANCE, DISK_CHARGE, NET_CHARGE, RNG_DRAW, HOST_TIME,
+    SPAN_BEGIN, SPAN_END, STATE_MUTATE,
+})
+
+#: Effects an ``@observation_only`` function must not have, directly or
+#: transitively.  ``STATE_MUTATE`` is deliberately allowed: observers may
+#: update their *own* buffers (the sanitizer appends violations, samplers
+#: append rows) -- what they must never do is move the clock, charge a
+#: byte, or perturb the RNG stream.
+OBSERVATION_FORBIDDEN: FrozenSet[str] = frozenset({
+    CLOCK_ADVANCE, DISK_CHARGE, NET_CHARGE, RNG_DRAW, HOST_TIME,
+})
+
+F = TypeVar("F", bound=Callable[..., object])
+
+
+def effects(*names: str) -> Callable[[F], F]:
+    """Declare the effect contract of a function.
+
+    ``@effects("DISK_CHARGE", "CLOCK_ADVANCE")`` asserts the function's
+    inferred whole-subtree effects are a subset of the declared set; the
+    effects gate reports REP100 when inference finds more.  Declaring
+    ``SPAN_BEGIN`` / ``SPAN_END`` additionally marks a deliberately
+    unbalanced span half (a job span opened at activation and closed at
+    retire), which exempts the function from the REP104 balance check.
+
+    The decorator returns ``fn`` unchanged.
+    """
+    declared = frozenset(names)
+    unknown = declared - ALL_EFFECTS
+    if unknown:
+        raise ValueError(
+            f"unknown effect name(s): {', '.join(sorted(unknown))}; "
+            f"choose from {', '.join(sorted(ALL_EFFECTS))}")
+
+    def mark(fn: F) -> F:
+        fn.__effect_contract__ = declared  # type: ignore[attr-defined]
+        return fn
+
+    return mark
+
+
+def observation_only(fn: F) -> F:
+    """Declare a function observation-only: it reports, it never perturbs.
+
+    The effects gate (REP101) verifies the function's whole call subtree
+    is free of :data:`OBSERVATION_FORBIDDEN` effects -- it cannot advance
+    the simulated clock, charge device or network time, read the host
+    clock, or draw randomness.  Mutating its own buffers is allowed.
+
+    The decorator returns ``fn`` unchanged.
+    """
+    fn.__observation_only__ = True  # type: ignore[attr-defined]
+    return fn
+
+
+#: Qualified-name prefixes that are observation-only *by registry* (whole
+#: modules whose every function is an exporter/formatter; decorating each
+#: one would be noise).  A function under one of these prefixes is held to
+#: the same REP101 contract as an ``@observation_only`` decoration.
+OBSERVATION_ONLY_PREFIXES: Tuple[str, ...] = (
+    "repro.obs.export.",
+    "repro.check.diagnostics.",
+)
+
+#: Registry-declared effect contracts for functions that cannot carry a
+#: decorator (e.g. properties of frozen dataclasses).  Maps the function's
+#: fully qualified name to its declared effect set.
+DECLARED_CONTRACTS: Dict[str, FrozenSet[str]] = {}

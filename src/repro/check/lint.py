@@ -19,17 +19,23 @@ REP008    no ``assert`` for structural checks (raise InvariantViolation)
 
 A finding on a line carrying ``# repro: noqa-REPxxx`` is suppressed; the
 suppression is per-rule and per-line (see DESIGN.md for when to suppress vs
-fix).  Each rule has a fixture test in ``tests/test_check_lint.py`` proving it
+fix).  For decorated defs the marker may sit on any line of the decorator
+block (findings anchored to the ``def`` line would otherwise need the
+marker on a line the reader never wrote).  ``# repro: noqa-file-REPxxx``
+anywhere in a file silences the rule for the whole file -- reserved for
+modules whose *purpose* violates a rule (the bench harness's host timers).
+Each rule has a fixture test in ``tests/test_check_lint.py`` proving it
 fires on minimal bad code and stays quiet on the equivalent good code.
 """
 
 from __future__ import annotations
 
 import ast
-import re
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.check.diagnostics import parse_noqa
 
 #: Rule catalog: id -> one-line description (shown by ``repro check --list-rules``).
 RULES: Dict[str, str] = {
@@ -79,9 +85,6 @@ _SIM_TIME_ATTRS = {
     "now", "busy_until", "not_before", "debt_s", "sim_time_s", "sim_seconds",
     "clock_now", "seek_time_s", "bulk_seek_time_s", "lookahead_s",
 }
-
-_NOQA_RE = re.compile(r"#\s*repro:\s*noqa-(REP\d{3})")
-
 
 @dataclass(frozen=True)
 class Finding:
@@ -294,13 +297,20 @@ class _RuleVisitor(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-def _suppressions(source: str) -> Dict[int, Set[str]]:
-    """Line -> set of rule ids suppressed via ``# repro: noqa-REPxxx``."""
-    out: Dict[int, Set[str]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        for match in _NOQA_RE.finditer(line):
-            out.setdefault(lineno, set()).add(match.group(1))
-    return out
+def _decorated_def_ranges(tree: ast.Module) -> List[Tuple[int, int]]:
+    """(first decorator line, def line) for every decorated def/class.
+
+    A finding anywhere in such a range accepts a noqa marker on any line
+    of the range: the AST anchors decorator-related findings to the
+    ``def`` line, which is not where a reader would put the comment.
+    """
+    ranges: List[Tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)) and node.decorator_list:
+            first = min(d.lineno for d in node.decorator_list)
+            ranges.append((first, node.lineno))
+    return ranges
 
 
 def lint_source(source: str, path: str = "<string>", *,
@@ -309,12 +319,17 @@ def lint_source(source: str, path: str = "<string>", *,
     tree = ast.parse(source, filename=path)
     visitor = _RuleVisitor(path)
     visitor.visit(tree)
-    suppressed = _suppressions(source)
+    noqa = parse_noqa(source)
+    def_ranges = _decorated_def_ranges(tree)
     out = []
     for finding in visitor.findings:
         if rules is not None and finding.rule not in rules:
             continue
-        if finding.rule in suppressed.get(finding.line, ()):
+        extra: List[int] = []
+        for first, last in def_ranges:
+            if first <= finding.line <= last:
+                extra.extend(range(first, last + 1))
+        if noqa.is_suppressed(finding.rule, finding.line, extra):
             continue
         out.append(finding)
     out.sort(key=lambda f: (f.path, f.line, f.col, f.rule))

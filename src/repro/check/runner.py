@@ -1,6 +1,6 @@
 """The ``python -m repro check`` driver.
 
-Runs the three correctness gates in order and reports one status line each:
+Runs the five correctness gates in order and reports one status line each:
 
 1. **lint** -- the AST determinism lint (:mod:`repro.check.lint`) over
    ``src/repro`` (or explicit paths).
@@ -14,21 +14,51 @@ Runs the three correctness gates in order and reports one status line each:
    (:mod:`repro.cluster.invariants`) checked throughout: shard ranges tile
    the key space exactly, acked writes sit on a quorum, and no file is owned
    by two live replicas after a rebalance.
+5. **effects** -- the whole-program effect-inference pass
+   (:mod:`repro.check.effects`): clock purity of observation paths, charged
+   I/O, seeded RNG, span balance, declared host-time (REP100...REP105).
 
-Exit status is 0 only when no gate FAILs (SKIP does not fail the run).
+Every gate runs even when an earlier one fails or raises: a gate that
+escapes with an exception is reported ERROR (with the exception inline) and
+the remaining gates still execute, so one broken invariant cannot mask
+another.  A summary line closes the run.  Exit status is 0 only when no
+gate FAILs or ERRORs (SKIP does not fail the run); 2 signals a usage error
+(unknown rule or gate name).
 """
 
 from __future__ import annotations
 
 import argparse
 import random
-from typing import List, Optional
+import traceback
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
 
 from repro.check.lint import RULES, lint_paths, lint_repo
 from repro.check.typing_gate import run_typing_gate
 
+#: Gate names in execution order (also the --gate vocabulary).
+GATE_NAMES: Tuple[str, ...] = (
+    "lint", "types", "sanitizer", "cluster", "effects")
 
-def _run_lint(args: argparse.Namespace) -> "tuple[bool, str]":
+
+@dataclass
+class GateOutcome:
+    """One gate's result: status is PASS, FAIL, SKIP or ERROR."""
+
+    name: str
+    status: str
+    #: Extra output printed *before* the status line (findings, tracebacks).
+    body: str = ""
+    #: Short parenthesized annotation on the status line.
+    detail: str = ""
+
+    @property
+    def failed(self) -> bool:
+        return self.status in ("FAIL", "ERROR")
+
+
+def _run_lint(args: argparse.Namespace) -> GateOutcome:
     rules = set(args.rule) if args.rule else None
     if args.paths:
         findings = lint_paths(args.paths, rules=rules)
@@ -37,8 +67,16 @@ def _run_lint(args: argparse.Namespace) -> "tuple[bool, str]":
     if findings:
         lines = [f.format() for f in findings]
         lines.append(f"{len(findings)} finding(s)")
-        return False, "\n".join(lines)
-    return True, "0 findings"
+        return GateOutcome("lint", "FAIL", body="\n".join(lines))
+    return GateOutcome("lint", "PASS", detail="0 findings")
+
+
+def _run_types(args: argparse.Namespace) -> GateOutcome:
+    gate = run_typing_gate()
+    if gate.status == "FAIL":
+        return GateOutcome("types", "FAIL", body=gate.output)
+    detail = gate.output.splitlines()[0] if gate.skipped and gate.output else ""
+    return GateOutcome("types", gate.status, detail=detail)
 
 
 def _smoke_workload(engine: str, seed: int) -> "tuple[int, int, List[str]]":
@@ -84,7 +122,7 @@ def _smoke_workload(engine: str, seed: int) -> "tuple[int, int, List[str]]":
     return summary["events_seen"], summary["checks_run"], messages
 
 
-def _run_sanitizer_smoke(args: argparse.Namespace) -> "tuple[bool, str]":
+def _run_sanitizer_smoke(args: argparse.Namespace) -> GateOutcome:
     total_events = 0
     total_checks = 0
     failures: List[str] = []
@@ -95,11 +133,12 @@ def _run_sanitizer_smoke(args: argparse.Namespace) -> "tuple[bool, str]":
         failures.extend(f"[{engine}] {m}" for m in messages)
     detail = f"{total_events} events, {total_checks} checks"
     if failures:
-        return False, "\n".join(failures + [detail])
-    return True, detail
+        return GateOutcome("sanitizer", "FAIL",
+                           body="\n".join(failures + [detail]))
+    return GateOutcome("sanitizer", "PASS", detail=f"{detail}, 0 violations")
 
 
-def _run_cluster_smoke(args: argparse.Namespace) -> "tuple[bool, str]":
+def _run_cluster_smoke(args: argparse.Namespace) -> GateOutcome:
     """Tiny sharded run exercising the cluster invariant catalog.
 
     Mixed ops against a 3-shard/2-replica cluster checked against a model
@@ -166,34 +205,97 @@ def _run_cluster_smoke(args: argparse.Namespace) -> "tuple[bool, str]":
     detail = (f"{checks} invariant sweeps, {n_shards} shards, "
               f"{n_failovers} failover(s), {len(model)} live keys")
     if failures:
-        return False, "\n".join(failures + [detail])
-    return True, detail
+        return GateOutcome("cluster", "FAIL",
+                           body="\n".join(failures + [detail]))
+    return GateOutcome("cluster", "PASS", detail=detail)
+
+
+def _run_effects(args: argparse.Namespace) -> GateOutcome:
+    from repro.check.effects.gate import run_effects_gate, write_report
+
+    result = run_effects_gate(strict=args.strict)
+    if args.effects_report:
+        write_report(result, args.effects_report)
+    lines: List[str] = [f.format() for f in result.findings]
+    if args.strict and result.baselined:
+        lines.extend(
+            f"{f.format()}  [baselined: {entry.reason}]"
+            for f, entry in result.baselined)
+    for entry in result.stale_baseline:
+        lines.append(f"stale baseline entry: {entry.rule} {entry.function} "
+                     f"({entry.reason}) -- remove it")
+    if result.ok:
+        return GateOutcome("effects", "PASS", detail=result.summary_line(),
+                           body="\n".join(lines))
+    lines.append(result.summary_line())
+    return GateOutcome("effects", "FAIL", body="\n".join(lines))
+
+
+_GATE_RUNNERS: "dict[str, Callable[[argparse.Namespace], GateOutcome]]" = {
+    "lint": _run_lint,
+    "types": _run_types,
+    "sanitizer": _run_sanitizer_smoke,
+    "cluster": _run_cluster_smoke,
+    "effects": _run_effects,
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro check",
-        description="determinism lint + typing gate + sanitizer smoke run")
+        description=("determinism lint + typing gate + sanitizer smoke run "
+                     "+ cluster smoke run + effect-inference gate"))
     p.add_argument("paths", nargs="*",
                    help="files/directories to lint (default: src/repro)")
     p.add_argument("--list-rules", action="store_true",
-                   help="print the lint rule catalog and exit")
+                   help="print the rule catalog (lint + effects) and exit")
+    p.add_argument("--explain", metavar="REPxxx",
+                   help="print the long-form explanation of a rule and exit")
     p.add_argument("--rule", action="append", metavar="REPxxx",
                    help="restrict the lint to the given rule(s)")
+    p.add_argument("--gate", action="append", metavar="NAME",
+                   choices=GATE_NAMES,
+                   help="run only the named gate(s); repeatable "
+                        f"(choices: {', '.join(GATE_NAMES)})")
     p.add_argument("--skip-lint", action="store_true")
     p.add_argument("--skip-types", action="store_true")
     p.add_argument("--skip-sanitizer", action="store_true")
     p.add_argument("--skip-cluster", action="store_true")
+    p.add_argument("--skip-effects", action="store_true")
+    p.add_argument("--strict", action="store_true",
+                   help="effects gate: baselined findings also FAIL "
+                        "(the weekly CI variant)")
+    p.add_argument("--effects-report", metavar="PATH",
+                   help="write the effects gate's JSON report to PATH")
     p.add_argument("--seed", type=int, default=0xC0FFEE,
                    help="seed of the sanitizer and cluster smoke workloads")
     return p
 
 
+def _explain_rule(rule: str) -> Optional[str]:
+    from repro.check.effects.gate import EXPLANATIONS
+
+    if rule in EXPLANATIONS:
+        return EXPLANATIONS[rule]
+    if rule in RULES:
+        return f"{rule}: {RULES[rule]}"
+    return None
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.list_rules:
-        for rule_id, description in sorted(RULES.items()):
+        from repro.check.effects.contracts import EFFECT_RULES
+
+        for rule_id, description in sorted({**RULES, **EFFECT_RULES}.items()):
             print(f"{rule_id}  {description}")
+        return 0
+    if args.explain:
+        text = _explain_rule(args.explain)
+        if text is None:
+            print(f"unknown rule: {args.explain}")
+            return 2
+        print(text)
         return 0
     if args.rule:
         unknown = [r for r in args.rule if r not in RULES]
@@ -201,52 +303,38 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"unknown rule(s): {', '.join(unknown)}")
             return 2
 
-    failed = False
+    selected = tuple(args.gate) if args.gate else GATE_NAMES
+    outcomes: List[GateOutcome] = []
+    for name in GATE_NAMES:
+        if name not in selected:
+            continue
+        if getattr(args, f"skip_{name}"):
+            outcomes.append(GateOutcome(name, "SKIP",
+                                        detail=f"--skip-{name}"))
+            print(f"{name:<9}  SKIP (--skip-{name})")
+            continue
+        try:
+            outcome = _GATE_RUNNERS[name](args)
+        except Exception:  # one broken gate must not mask the others
+            outcome = GateOutcome(name, "ERROR",
+                                  body=traceback.format_exc().rstrip())
+        outcomes.append(outcome)
+        if outcome.body:
+            print(outcome.body)
+        annotation = f" ({outcome.detail})" if outcome.detail else ""
+        print(f"{outcome.name:<9}  {outcome.status}{annotation}")
 
-    if args.skip_lint:
-        print("lint       SKIP (--skip-lint)")
-    else:
-        ok, detail = _run_lint(args)
-        if ok:
-            print(f"lint       PASS ({detail})")
-        else:
-            failed = True
-            print(detail)
-            print("lint       FAIL")
-
-    if args.skip_types:
-        print("types      SKIP (--skip-types)")
-    else:
-        gate = run_typing_gate()
-        if gate.status == "FAIL":
-            failed = True
-            print(gate.output)
-        detail = gate.output.splitlines()[0] if gate.skipped and gate.output else ""
-        print(f"types      {gate.status}" + (f" ({detail})" if detail else ""))
-
-    if args.skip_sanitizer:
-        print("sanitizer  SKIP (--skip-sanitizer)")
-    else:
-        ok, detail = _run_sanitizer_smoke(args)
-        if ok:
-            print(f"sanitizer  PASS ({detail}, 0 violations)")
-        else:
-            failed = True
-            print(detail)
-            print("sanitizer  FAIL")
-
-    if args.skip_cluster:
-        print("cluster    SKIP (--skip-cluster)")
-    else:
-        ok, detail = _run_cluster_smoke(args)
-        if ok:
-            print(f"cluster    PASS ({detail})")
-        else:
-            failed = True
-            print(detail)
-            print("cluster    FAIL")
-
-    return 1 if failed else 0
+    n_failed = sum(1 for o in outcomes if o.failed)
+    n_passed = sum(1 for o in outcomes if o.status == "PASS")
+    n_skipped = sum(1 for o in outcomes if o.status == "SKIP")
+    summary = f"{n_passed}/{len(outcomes)} gates passed"
+    if n_skipped:
+        summary += f", {n_skipped} skipped"
+    if n_failed:
+        bad = ", ".join(o.name for o in outcomes if o.failed)
+        summary += f", {n_failed} failed ({bad})"
+    print(summary)
+    return 1 if n_failed else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -41,6 +41,7 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.check.diagnostics import Diagnostic, invariant_error
 from repro.common.records import KEY, SEQ, RecordTuple, is_sorted_run
+from repro.check.effects.registry import observation_only
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.lsa import LsaTree
@@ -112,6 +113,7 @@ class Sanitizer:
             raise exc
 
     # ----------------------------------------------------------- entry points
+    @observation_only
     def after_structural_event(self, engine: "LsaTree", event: str) -> None:
         """Engine hook: called after every flush/split/combine/merge."""
         self.events_seen += 1
@@ -119,6 +121,7 @@ class Sanitizer:
             return
         self.check_tree(engine, event=event)
 
+    @observation_only
     def check_tree(self, engine: "LsaTree", *, event: str = "explicit") -> None:
         """Walk the live tree and storage state; verify every invariant."""
         self.checks_run += 1
@@ -133,6 +136,7 @@ class Sanitizer:
         if self.options.check_cache:
             self._check_cache()
 
+    @observation_only
     def check_db(self, event: str = "rotation") -> None:
         """DB hook: verify WAL/memtable/manifest agreement.
 
@@ -352,6 +356,7 @@ class Sanitizer:
                 break
 
     # --------------------------------------------------------------- summary
+    @observation_only
     def summary(self) -> Dict[str, int]:
         return {
             "events_seen": self.events_seen,

@@ -41,6 +41,7 @@ from repro.db.iamdb import IamDB
 from repro.metrics import MetricsRegistry, merge_snapshots
 from repro.obs.tracer import NULL_TRACER, NullTracer
 from repro.storage.simdisk import SimClock
+from repro.check.effects.registry import observation_only
 
 #: Recently acked writes remembered for the failover audit (per cluster).
 AUDIT_WINDOW = 256
@@ -358,6 +359,7 @@ class ClusterDB:
             return 0.0
         return max(values) * len(values) / total
 
+    @observation_only
     def stats(self) -> Dict[str, object]:
         """The cluster report: topology, aggregates, imbalance, tails."""
         shards = self.router.shards
@@ -393,6 +395,7 @@ class ClusterDB:
             "shards": shard_rows,
         }
 
+    @observation_only
     def check_invariants(self) -> None:
         """Cluster invariants plus every live replica's engine invariants."""
         from repro.cluster.invariants import check_cluster_invariants

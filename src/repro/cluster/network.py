@@ -32,6 +32,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.common.errors import ConfigError
 from repro.storage.simdisk import SimClock
+from repro.check.effects.registry import effects
 
 #: Default per-link bandwidth: 2 GiB/s full duplex (a 25 GbE-ish fabric,
 #: deliberately faster than the SSD profile so the disk stays the bottleneck).
@@ -109,6 +110,7 @@ class SimNetwork:
         return start, end
 
     # ------------------------------------------------------------- foreground
+    @effects("CLOCK_ADVANCE", "NET_CHARGE", "STATE_MUTATE")
     def send(self, src: int, dst: int, nbytes: int) -> float:
         """Deliver one message synchronously; returns the elapsed sim time.
 
@@ -122,6 +124,7 @@ class SimNetwork:
             self.clock.advance(elapsed)
         return elapsed
 
+    @effects("CLOCK_ADVANCE", "NET_CHARGE", "STATE_MUTATE")
     def rpc(self, src: int, dst: int, request_bytes: int,
             response_bytes: int = 0) -> float:
         """A request/response round trip; returns the total elapsed time."""

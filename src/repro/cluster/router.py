@@ -31,6 +31,7 @@ from repro.common.errors import ConfigError, InvariantViolation
 from repro.common.records import Key, Value, encoded_size, make_put
 from repro.metrics import MetricsRegistry
 from repro.obs.tracer import NullTracer
+from repro.check.effects.registry import effects
 
 #: The router's network node id (replica node ids start at 1).
 ROUTER_NODE = 0
@@ -107,6 +108,7 @@ class Router:
         self._install(keep + new)
 
     # ----------------------------------------------------- admission control
+    @effects("CLOCK_ADVANCE", "STATE_MUTATE")
     def _admit_write(self, shard: Shard) -> None:
         """Pace writes to a degraded shard (leader pool giving up on jobs)."""
         streak = shard.group.leader.db.runtime.pool.failed_streak

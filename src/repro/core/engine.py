@@ -28,6 +28,7 @@ from typing import (
 from repro.common.records import Key, RecordTuple
 from repro.storage.background import BackgroundJob
 from repro.storage.runtime import Runtime
+from repro.check.effects.registry import effects, observation_only
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.check.sanitizer import Sanitizer
@@ -49,6 +50,7 @@ class EngineBase(abc.ABC):
         self.sanitizer: Optional["Sanitizer"] = None
         runtime.pool.set_provider(self.pick_background_job)
 
+    @observation_only
     def _sanitize(self, event: str) -> None:
         """Run the structural sanitizer after ``event``, when attached."""
         if self.sanitizer is not None:
@@ -71,6 +73,7 @@ class EngineBase(abc.ABC):
         if cp is not None:
             cp.reached(site)
 
+    @effects("CLOCK_ADVANCE", "STATE_MUTATE")
     def _fault_gate(self, nbytes: int) -> float:
         """Degradation pacing while background jobs keep failing.
 
@@ -167,6 +170,7 @@ class EngineBase(abc.ABC):
             self.runtime.metrics.add_bloom_probes(counters[0], counters[1])
         return latencies
 
+    @observation_only
     def scan_plan(self, lo_key: Optional[Key],
                   hi_key: Optional[Key]) -> Optional[List[object]]:
         """Stream plan for the batched scan assembler, or None.
@@ -200,10 +204,12 @@ class EngineBase(abc.ABC):
     def level_data_bytes(self) -> Dict[int, int]:
         """Live data bytes per level (the paper's D_j)."""
 
+    @observation_only
     @abc.abstractmethod
     def check_invariants(self) -> None:
         """Raise InvariantViolation when the structure is inconsistent."""
 
+    @observation_only
     @abc.abstractmethod
     def describe(self) -> Dict[str, object]:
         """Structure digest for reports and tests."""

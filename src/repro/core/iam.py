@@ -29,6 +29,7 @@ from repro.core.node import LsaNode
 from repro.core.tuning import tune_m_k
 from repro.table.block import Sequence
 from repro.storage.runtime import Runtime
+from repro.check.effects.registry import observation_only
 
 
 class IamTree(LsaTree):
@@ -119,6 +120,7 @@ class IamTree(LsaTree):
             return "mixed"
         return "merging"
 
+    @observation_only
     def describe(self) -> Dict[str, object]:
         d = super().describe()
         d["engine"] = self.name

@@ -48,6 +48,7 @@ from repro.storage.runtime import Runtime
 from repro.table.block import Sequence
 from repro.table.merge import merge_runs
 from repro.table.mstable import MSTable
+from repro.check.effects.registry import observation_only
 
 
 class LsaTree(EngineBase):
@@ -587,6 +588,7 @@ class LsaTree(EngineBase):
             return super().multi_get(keys, snapshot)
         return results, self._replay_probe_plans(probes, counters)
 
+    @observation_only
     def scan_plan(self, lo_key: Optional[Key],
                   hi_key: Optional[Key]) -> List[object]:
         """Batched scan streams: one node chain per level, cursor order."""
@@ -652,6 +654,7 @@ class LsaTree(EngineBase):
         return max((node.n_sequences
                     for level in self.levels for node in level), default=0)
 
+    @observation_only
     def check_invariants(self) -> None:
         for i in range(1, self.n + 1):
             lst = self.levels[i]
@@ -665,6 +668,7 @@ class LsaTree(EngineBase):
             if extra:
                 raise InvariantViolation("nodes beyond the leaf level")
 
+    @observation_only
     def describe(self) -> Dict[str, object]:
         return {
             "engine": self.name,

@@ -58,6 +58,7 @@ from repro.metrics import MetricsRegistry
 from repro.storage.manifest import Manifest
 from repro.storage.runtime import Runtime
 from repro.storage.wal import WriteAheadLog
+from repro.check.effects.registry import observation_only
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.check.sanitizer import Sanitizer, SanitizerOptions
@@ -232,6 +233,7 @@ class IamDB:
         runtime.pump()
         self.metrics.record_latency("insert", runtime.clock.now - t0)
 
+    @observation_only
     def _sanitize_db(self, event: str) -> None:
         """Run the DB-level sanitizer checks at a quiescent point."""
         if self.sanitizer is not None:
@@ -533,6 +535,7 @@ class IamDB:
     def space_used_bytes(self) -> int:
         return self.runtime.space_used_bytes()
 
+    @observation_only
     def stats(self) -> Dict[str, object]:
         d = self.engine.describe()
         longest = self.metrics.longest_stall()
@@ -548,5 +551,6 @@ class IamDB:
         })
         return d
 
+    @observation_only
     def check_invariants(self) -> None:
         self.engine.check_invariants()

@@ -32,6 +32,7 @@ from repro.storage.background import BackgroundJob
 from repro.storage.runtime import Runtime
 from repro.table.merge import merge_runs
 from repro.table.mstable import MSTable
+from repro.check.effects.registry import effects, observation_only
 
 #: Fragments per bottom-level guard before the guard is merged in place.
 BOTTOM_MERGE_FANIN = 8
@@ -88,6 +89,7 @@ class FlsmEngine(EngineBase):
 
         return self.runtime.submit_job("flush->L0", start, high_priority=True)
 
+    @effects("CLOCK_ADVANCE", "DISK_CHARGE", "SPAN_BEGIN", "SPAN_END", "STATE_MUTATE")
     def write_gate(self, nbytes: int) -> float:
         opts = self.options
         lat = self._fault_gate(nbytes)
@@ -325,6 +327,7 @@ class FlsmEngine(EngineBase):
         """Largest fragment count in any guard (worst-write-case indicator)."""
         return max((len(g.tables) for lvl in self.guards for g in lvl), default=0)
 
+    @observation_only
     def check_invariants(self) -> None:
         for i, lvl in enumerate(self.guards):
             total = sum(g.nbytes for g in lvl)
@@ -334,6 +337,7 @@ class FlsmEngine(EngineBase):
             if cuts != sorted(cuts):
                 raise InvariantViolation(f"FLSM level {i} guards out of order")
 
+    @observation_only
     def describe(self) -> Dict[str, object]:
         return {
             "engine": self.name,

@@ -34,6 +34,7 @@ from repro.storage.runtime import Runtime
 from repro.table.merge import merge_runs
 from repro.table.mstable import MSTable
 from repro.table.scan import chain_stream, table_stream
+from repro.check.effects.registry import effects, observation_only
 
 
 class LeveledLsm(EngineBase):
@@ -83,6 +84,7 @@ class LeveledLsm(EngineBase):
         frac = self.options.delayed_write_fraction
         return nbytes / (bw * frac) - nbytes / bw
 
+    @effects("CLOCK_ADVANCE", "DISK_CHARGE", "SPAN_BEGIN", "SPAN_END", "STATE_MUTATE")
     def write_gate(self, nbytes: int) -> float:
         opts = self.options
         lat = self._fault_gate(nbytes)
@@ -399,6 +401,7 @@ class LeveledLsm(EngineBase):
             return super().multi_get(keys, snapshot)
         return results, self._replay_probe_plans(probes, counters)
 
+    @observation_only
     def scan_plan(self, lo_key, hi_key) -> List[object]:
         """Batched scan streams matching :meth:`scan_cursors` order."""
         plan: List[object] = []
@@ -506,6 +509,7 @@ class LeveledLsm(EngineBase):
                 out[i] = self.level_bytes[i + 1] / self.level_bytes[i]
         return out
 
+    @observation_only
     def check_invariants(self) -> None:
         for i, lst in enumerate(self.levels):
             total = sum(t.data_bytes for t in lst)
@@ -520,6 +524,7 @@ class LeveledLsm(EngineBase):
                         raise InvariantViolation(
                             f"level {i} ranges overlap: {a.max_key!r} vs {b.min_key!r}")
 
+    @observation_only
     def describe(self) -> Dict[str, object]:
         return {
             "engine": self.name,

@@ -33,6 +33,7 @@ from repro.storage.runtime import Runtime
 from repro.common.hashing import splitmix64
 from repro.table.merge import merge_runs
 from repro.table.mstable import MSTable
+from repro.check.effects.registry import observation_only
 
 #: Children per trie node (the original uses 8: 3 hash bits per level).
 TRIE_FANOUT = 8
@@ -241,6 +242,7 @@ class LsmTrieEngine(EngineBase):
     def max_children(self) -> int:
         return max((len(n.children) for n in self._walk()), default=0)
 
+    @observation_only
     def check_invariants(self) -> None:
         for node in self._walk():
             if len(node.children) > TRIE_FANOUT:
@@ -251,6 +253,7 @@ class LsmTrieEngine(EngineBase):
                 if not (0 <= idx < TRIE_FANOUT):
                     raise InvariantViolation(f"bad child index {idx}")
 
+    @observation_only
     def describe(self) -> Dict[str, object]:
         depths: Dict[int, int] = {}
         for node in self._walk():

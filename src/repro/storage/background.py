@@ -43,6 +43,7 @@ from typing import TYPE_CHECKING, Callable, Deque, List, Optional
 from repro.common.errors import InvariantViolation
 from repro.obs.tracer import NULL_TRACER, NullTracer
 from repro.storage.simdisk import SimDisk
+from repro.check.effects.registry import effects
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.faults.crash import CrashPoints
@@ -172,6 +173,7 @@ class BackgroundPool:
         return bool(self.active or self.queue)
 
     # ------------------------------------------------------------- activation
+    @effects("SPAN_BEGIN", "SPAN_END", "STATE_MUTATE")
     def _activate(self, job: BackgroundJob) -> None:
         if self.injector is not None and self.injector.job_attempt_fails(job):
             self._job_fault(job)
@@ -260,6 +262,7 @@ class BackgroundPool:
         now = self.disk.clock.now
         return any(job.retry_at <= now for job in self.queue)
 
+    @effects("CLOCK_ADVANCE", "STATE_MUTATE")
     def _sleep_until_ready(self) -> Optional[float]:
         """Advance the clock to the earliest queued retry; None when there is
         nothing to wait for (no injector or empty queue)."""
@@ -307,6 +310,7 @@ class BackgroundPool:
             if not progressed:
                 return
 
+    @effects("SPAN_END", "STATE_MUTATE")
     def _retire(self, job: BackgroundJob) -> None:
         if job in self.active:
             self.active.remove(job)
@@ -408,6 +412,7 @@ class BackgroundPool:
         return self._drain_one(self.active[0])
 
     # --------------------------------------------------------------- crashing
+    @effects("SPAN_END", "STATE_MUTATE")
     def abandon_all(self) -> int:
         """Hard-crash model: drop every in-flight and queued job on the floor.
 

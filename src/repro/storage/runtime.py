@@ -22,6 +22,7 @@ from repro.obs.tracer import NULL_TRACER, NullTracer
 from repro.storage.background import BackgroundJob, BackgroundPool
 from repro.storage.pagecache import PageCache
 from repro.storage.simdisk import SimClock, SimDisk, SimFile
+from repro.check.effects.registry import effects
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.common.options import FaultOptions
@@ -114,6 +115,7 @@ class Runtime:
         return self.pool.submit(name, start_fn, high_priority=high_priority,
                                 on_complete=on_complete)
 
+    @effects("CLOCK_ADVANCE", "DISK_CHARGE", "SPAN_BEGIN", "SPAN_END", "STATE_MUTATE")
     def stall_on(self, job: BackgroundJob, reason: str) -> float:
         """Foreground wait for a background job; records the stall event.
 
@@ -130,6 +132,7 @@ class Runtime:
         return self.pool.drain_all()
 
     # ------------------------------------------------------------- query reads
+    @effects("CLOCK_ADVANCE", "DISK_CHARGE", "STATE_MUTATE")
     def fg_read_blocks(self, file_id: int, block_nos: Iterable[int]) -> float:
         """Read blocks for a query through the cache; returns elapsed time."""
         if isinstance(block_nos, range):
@@ -154,6 +157,7 @@ class Runtime:
         return elapsed
 
     # --------------------------------------------------------- compaction I/O
+    @effects("DISK_CHARGE", "STATE_MUTATE")
     def bg_write_run(self, file: SimFile, nbytes: int, *, level: int,
                      first_block: int = 0, n_cache_blocks: Optional[int] = None) -> float:
         """Charge one sequential background write run; returns device debt.
@@ -175,6 +179,7 @@ class Runtime:
             self.cache.insert_range(file.file_id, first_block, n_cache_blocks)
         return self.disk.io_time(nbytes_write=nbytes, bulk_seeks=1)
 
+    @effects("DISK_CHARGE", "STATE_MUTATE")
     def bg_read_run(self, file_id: int, nbytes: int, *,
                     resident_bytes: int = 0) -> float:
         """Charge a background (compaction) read; returns device debt.

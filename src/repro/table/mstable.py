@@ -22,6 +22,7 @@ from repro.common.errors import InvariantViolation
 from repro.common.records import Key, RecordTuple, SEQ, sort_key
 from repro.storage.runtime import Runtime
 from repro.table.block import Sequence
+from repro.check.effects.registry import observation_only
 
 
 class MSTable:
@@ -160,6 +161,7 @@ class MSTable:
                 return rec, latency
         return None, latency
 
+    @observation_only
     def plan_gets(self, key_arr: np.ndarray, live: List[int],
                   snapshot: Optional[int],
                   probes: List[List[Tuple[int, range]]],

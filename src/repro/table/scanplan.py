@@ -48,6 +48,7 @@ import numpy as np
 
 from repro.common.records import DELETE, Key
 from repro.table.scan import _ChainState, _ListStream
+from repro.check.effects.registry import observation_only
 
 #: Cursor read-ahead (blocks per charge chunk) -- must match Sequence.cursor.
 _RA = 8
@@ -55,6 +56,7 @@ _RA = 8
 _RETRY = object()
 
 
+@observation_only
 def planned_scan(streams: list, *, snapshot: Optional[int] = None,
                  hi_key: Optional[Key] = None,
                  limit: Optional[int] = None) -> Optional[List[Tuple[Key, object]]]:

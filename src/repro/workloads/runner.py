@@ -3,9 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, TYPE_CHECKING
 
 from repro.db.iamdb import IamDB
+
+if TYPE_CHECKING:  # cycle-free: ycsb imports this module's report types
+    from repro.workloads.ycsb import YcsbSpec
 
 
 @dataclass
@@ -77,7 +80,7 @@ def finish_report(db: IamDB, name: str, ops: int, t0: float,
     )
 
 
-def run_ycsb(db: IamDB, spec, n_ops: int, n_records: int, *, seed: int = 11,
+def run_ycsb(db: IamDB, spec: "YcsbSpec", n_ops: int, n_records: int, *, seed: int = 11,
              value_size: int = 256, clients: int = 1,
              coalesce_reads: bool = False) -> WorkloadReport:
     """Run ``n_ops`` operations of a YCSB workload spec (see ycsb.py).
@@ -143,7 +146,7 @@ def run_ycsb(db: IamDB, spec, n_ops: int, n_records: int, *, seed: int = 11,
     return finish_report(db, spec.name, ops, t0, marks)
 
 
-def _run_coalesced(db: IamDB, spec, n_ops: int, n_records: int, *, seed: int,
+def _run_coalesced(db: IamDB, spec: "YcsbSpec", n_ops: int, n_records: int, *, seed: int,
                    value_size: int, clients: int) -> int:
     """Round-robin execution with per-round point reads batched.
 

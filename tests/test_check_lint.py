@@ -198,6 +198,44 @@ class TestSuppression:
         src = "import time\nassert time.time()\n"
         assert rules_of(lint_source(src, rules={"REP008"})) == ["REP008"]
 
+    def test_file_level_noqa_suppresses_everywhere(self):
+        src = ("# repro: noqa-file-REP001\n"
+               "import time\n"
+               "a = time.time()\n"
+               "b = time.perf_counter()\n")
+        assert rules_of(lint_source(src)) == []
+
+    def test_file_level_noqa_is_per_rule(self):
+        src = ("# repro: noqa-file-REP001\n"
+               "import time, random\n"
+               "a = time.time()\n"
+               "b = random.random()\n")
+        assert rules_of(lint_source(src)) == ["REP002"]
+
+    def test_file_level_marker_does_not_leak_to_line_form(self):
+        # noqa-file-REP001 on line 1 must not read as a line-level
+        # noqa-REP001 for whatever happens to sit on line 1.
+        src = ("import time  # repro: noqa-file-REP002\n"
+               "a = time.time()\n")
+        findings = lint_source(src)
+        assert rules_of(findings) == ["REP001"]
+
+    def test_decorated_def_accepts_noqa_on_any_decorator_line(self):
+        # A finding anchored at the def line is suppressed by a marker on
+        # the decorator above it (the visible top of the statement).
+        src = ("import functools\n"
+               "@functools.lru_cache  # repro: noqa-REP005\n"
+               "def f(xs=[]):\n"
+               "    return xs\n")
+        assert rules_of(lint_source(src)) == []
+
+    def test_decorated_def_noqa_still_requires_matching_rule(self):
+        src = ("import functools\n"
+               "@functools.lru_cache  # repro: noqa-REP001\n"
+               "def f(xs=[]):\n"
+               "    return xs\n")
+        assert rules_of(lint_source(src)) == ["REP005"]
+
 
 # ------------------------------------------------------------------ corpus
 class TestRepoCorpus:
