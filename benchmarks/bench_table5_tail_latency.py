@@ -3,12 +3,22 @@
 Paper shape: IamDB (IAM) takes first or second place in nearly every cell;
 LSA wins on point-read workloads but loses badly on scans (E/G); the HDD
 latencies dwarf the SSD ones.
+
+Built on the per-op-class log-linear histograms (``repro.metrics.latency``):
+each cell's p99 is the histogram's nearest-rank bucket bound, windowed per
+workload with :meth:`StabilityProbe.latency_since`, with the old recorder's
+sample-interpolated p99 carried alongside -- the benchmark asserts the two
+conventions agree to within 25%.  The slack is dominated not by the
+histogram's ~3% bucket width but by the conventions themselves: with a few
+hundred query samples per cell, the adjacent tail order statistics that
+nearest-rank and linear interpolation land between can sit ~10% apart, so
+the check guards against op-class/unit mistakes, not convention drift.
 """
 
 import pytest
 
 from benchmarks._util import run_once, save_result
-from repro.bench.harness import exp_table5
+from repro.bench.harness import exp_table5_hist
 from repro.bench.report import format_table
 from repro.bench.scale import HDD_100G, HDD_1T, SSD_100G
 
@@ -21,28 +31,45 @@ def _fmt(seconds: float) -> str:
     return f"{seconds * 1000:.3f}ms"
 
 
+def _p99(result, w, c, setup_name) -> float:
+    return result[w][c][setup_name].get("p99", 0.0)
+
+
 def test_table5_tail_latency(benchmark):
-    result = run_once(benchmark, lambda: exp_table5(SETUPS, WORKLOADS, CONFIGS))
+    result = run_once(benchmark,
+                      lambda: exp_table5_hist(SETUPS, WORKLOADS, CONFIGS))
     rows = []
     for w in WORKLOADS:
         for c in CONFIGS:
-            cell = result[w][c]
-            rows.append([w, c] + [_fmt(cell[s.name]) for s in SETUPS])
+            rows.append([w, c] + [_fmt(_p99(result, w, c, s.name))
+                                  for s in SETUPS])
     table = format_table(["workload", "config"] + [s.name for s in SETUPS],
                          rows, title="Table 5 (measured): p99 latency per workload/config")
     save_result("table5", table)
     benchmark.extra_info["p99"] = {
-        w: {c: result[w][c] for c in CONFIGS} for w in WORKLOADS}
+        w: {c: {s.name: _p99(result, w, c, s.name) for s in SETUPS}
+            for c in CONFIGS} for w in WORKLOADS}
 
     for w in WORKLOADS:
         for c in CONFIGS:
+            for s in SETUPS:
+                cell = result[w][c][s.name]
+                # Histogram p99 (nearest-rank bucket bound) tracks the
+                # recorder's interpolated p99: same samples, so only the
+                # bucket width plus the gap between the adjacent tail order
+                # statistics the two conventions pick can separate them.
+                if cell.get("p99_recorder", 0.0) > 0.0:
+                    assert cell["p99"] == pytest.approx(
+                        cell["p99_recorder"], rel=0.25)
+                # Percentiles are monotone and capped by the observed max.
+                assert cell["p50"] <= cell["p99"] <= cell["p999"] <= cell["max"]
             # HDD is far slower than SSD at the tail (seek-dominated reads).
-            assert result[w][c]["HDD-100G"] > result[w][c]["SSD-100G"]
+            assert _p99(result, w, c, "HDD-100G") > _p99(result, w, c, "SSD-100G")
     # Scan workloads: IAM's tail beats LSA's everywhere (the paper's Table 5
     # shape -- LSA "usually much worse than the others", IAM competitive).
     for setup in ("SSD-100G", "HDD-100G", "HDD-1T"):
         for w in ("E", "G"):
-            tails = {c: result[w][c][setup] for c in CONFIGS}
+            tails = {c: _p99(result, w, c, setup) for c in CONFIGS}
             assert tails["A-1t"] > tails["I-1t"]
             # IAM within a workable factor of the LSM baselines (our device
             # model compresses cross-engine p99 contrast under pure-read
@@ -51,5 +78,5 @@ def test_table5_tail_latency(benchmark):
     # Point-read workloads: all engines' p99 within a tight band (one seek).
     for w in ("B", "C"):
         for setup in ("HDD-100G",):
-            tails = [result[w][c][setup] for c in CONFIGS]
+            tails = [_p99(result, w, c, setup) for c in CONFIGS]
             assert max(tails) < 2.0 * min(tails)

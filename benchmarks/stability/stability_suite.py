@@ -1,0 +1,17 @@
+"""Standalone entry point for the stability suite.
+
+Thin shim over :mod:`repro.bench.stability` -- same flags as
+``python -m repro stability`` (``--quick``, ``--check``, ``--update``,
+``--engine``, ``--trace``, ...).  Run with ``PYTHONPATH=src``.
+"""
+
+if __name__ == "__main__":
+    import sys
+
+    try:
+        from repro.bench.stability import main
+    except ImportError:
+        print("run with PYTHONPATH=src (repro package not importable)",
+              file=sys.stderr)
+        sys.exit(2)
+    sys.exit(main(sys.argv[1:]))

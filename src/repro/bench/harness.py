@@ -13,7 +13,7 @@ import contextlib
 import cProfile
 import pstats
 import sys
-from typing import Any, Dict, Iterator, Optional, Sequence, TextIO, Tuple
+from typing import Any, Dict, Iterator, Optional, Sequence, TextIO, Tuple, cast
 
 from repro.bench.scale import (
     HDD_100G,
@@ -150,6 +150,15 @@ def exp_fig7(setup: ScaledSetup,
 
 
 # ---------------------------------------------------------------- Figure 8
+def _query_ops(workload: str, n_ops: int) -> int:
+    """Op budget per query workload: scans are ~10x the work of reads."""
+    if workload == "G":
+        return max(50, n_ops // 40)
+    if YCSB_WORKLOADS[workload].scan > 0:
+        return max(200, n_ops // 10)
+    return n_ops
+
+
 def exp_fig8(setup: ScaledSetup = SSD_100G,
              workloads: Sequence[str] = ("B", "C", "D", "E", "G"),
              configs: Sequence[str] = ("L", "R-1t", "A-1t", "I-1t"),
@@ -161,10 +170,46 @@ def exp_fig8(setup: ScaledSetup = SSD_100G,
         db, _ = loaded_db(config, setup, quiesce=True)
         db.quiesce()  # no pending compaction debt: the stable state
         for w in workloads:
-            ops = n_ops if YCSB_WORKLOADS[w].scan == 0 else max(200, n_ops // 10)
-            if w == "G":
-                ops = max(50, n_ops // 40)
-            out[w][config] = run_ycsb(db, YCSB_WORKLOADS[w], ops, setup.n_records)
+            out[w][config] = run_ycsb(db, YCSB_WORKLOADS[w],
+                                      _query_ops(w, n_ops), setup.n_records)
+    return out
+
+
+def exp_fig8_stability(setup: ScaledSetup = SSD_100G,
+                       workloads: Sequence[str] = ("B", "C", "D", "E", "G"),
+                       configs: Sequence[str] = ("L", "R-1t", "A-1t", "I-1t"),
+                       n_ops: int = DEFAULT_RUN_OPS,
+                       ) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Fig. 8 on the stability primitives: windowed throughput per phase.
+
+    Same runs as :func:`exp_fig8`, but each (workload, config) cell is a
+    windowed digest from a :class:`~repro.obs.stability.StabilityProbe`
+    instead of one scalar: the duration-weighted ``mean_ops_s`` (equal to
+    the old ``WorkloadReport.throughput`` by construction -- the benchmark
+    asserts it), plus ``cv`` / ``min_window_ops_s`` / ``stall_fraction``,
+    which quantify the *stability* the figure's caption talks about.
+    """
+    from repro.obs.stability import StabilityProbe
+
+    out: Dict[str, Dict[str, Dict[str, float]]] = {w: {} for w in workloads}
+    for config in configs:
+        db, _ = loaded_db(config, setup, quiesce=True)
+        db.quiesce()  # no pending compaction debt: the stable state
+        probe = StabilityProbe(db)
+        for w in workloads:
+            mark = probe.mark()
+            rep = run_ycsb(db, YCSB_WORKLOADS[w], _query_ops(w, n_ops),
+                           setup.n_records)
+            digest = probe.window_report(mark)
+            tp = cast(Dict[str, float], digest["throughput"])
+            stalls = cast(Dict[str, float], digest["stalls"])
+            out[w][config] = {
+                "ops_per_s": rep.throughput,
+                "mean_ops_s": float(tp["mean_ops_s"]),
+                "cv": float(tp["cv"]),
+                "min_window_ops_s": float(tp["min_window_ops_s"]),
+                "stall_fraction": float(stalls["stall_fraction"]),
+            }
     return out
 
 
@@ -185,12 +230,46 @@ def exp_table5(setups: Sequence[ScaledSetup] = (SSD_100G, HDD_100G, HDD_1T),
             db, _ = loaded_db(config, setup)
             for w in workloads:
                 spec = YCSB_WORKLOADS[w]
-                ops = n_ops if spec.scan == 0 else max(200, n_ops // 10)
-                if w == "G":
-                    ops = max(50, n_ops // 40)
-                rep = run_ycsb(db, spec, ops, setup.n_records)
+                rep = run_ycsb(db, spec, _query_ops(w, n_ops), setup.n_records)
                 op_type = "scan" if spec.scan > 0 else "read"
                 out[w][config][setup.name] = rep.latency.get(op_type, {}).get("p99", 0.0)
+    return out
+
+
+def exp_table5_hist(setups: Sequence[ScaledSetup] = (SSD_100G, HDD_100G,
+                                                     HDD_1T),
+                    workloads: Sequence[str] = ("B", "C", "D", "E", "G"),
+                    configs: Sequence[str] = ("L", "R-1t", "A-1t", "I-1t"),
+                    n_ops: int = DEFAULT_RUN_OPS,
+                    ) -> Dict[str, Dict[str, Dict[str, Dict[str, float]]]]:
+    """Table 5 on the histogram primitives: tail latencies per phase.
+
+    Same runs as :func:`exp_table5`, but the tails come from the per-op-
+    class log-linear histograms (windowed per workload with
+    :meth:`~repro.obs.stability.StabilityProbe.latency_since`) rather than
+    the per-op sample recorder.  Each cell is the full digest
+    ``{"p50", "p99", "p999", "max", ...}`` plus ``p99_recorder``, the old
+    sample-interpolated p99, so the benchmark can assert the two
+    conventions agree to within the histogram's bucket resolution.
+    """
+    from repro.obs.stability import StabilityProbe
+
+    out: Dict[str, Dict[str, Dict[str, Dict[str, float]]]] = {
+        w: {c: {} for c in configs} for w in workloads}
+    for setup in setups:
+        for config in configs:
+            db, _ = loaded_db(config, setup)
+            probe = StabilityProbe(db)
+            for w in workloads:
+                spec = YCSB_WORKLOADS[w]
+                mark = probe.mark()
+                rep = run_ycsb(db, spec, _query_ops(w, n_ops), setup.n_records)
+                op_class = "scan" if spec.scan > 0 else "get"
+                op_type = "scan" if spec.scan > 0 else "read"
+                digest = dict(probe.latency_since(mark).get(op_class, {}))
+                digest["p99_recorder"] = (
+                    rep.latency.get(op_type, {}).get("p99", 0.0))
+                out[w][config][setup.name] = digest
     return out
 
 

@@ -98,7 +98,10 @@ def observation_only(fn: F) -> F:
 #: the same REP101 contract as an ``@observation_only`` decoration.
 OBSERVATION_ONLY_PREFIXES: Tuple[str, ...] = (
     "repro.obs.export.",
+    "repro.obs.stability.",
     "repro.check.diagnostics.",
+    "repro.metrics.stalls.",
+    "repro.metrics.prom.",
 )
 
 #: Registry-declared effect contracts for functions that cannot carry a

@@ -11,6 +11,7 @@ Commands
 ``compare``      run one load across several engines side by side
 ``experiment``   regenerate a paper table/figure via the bench harness
 ``perf``         run the hot-path microbenchmarks (BENCH_perf.json)
+``stability``    run the stability suite (BENCH_stability.json)
 ``check``        determinism lint + typing gate + sanitizer smoke run
 ``faults``       crash-point matrix: crash everywhere, assert durability
 ``info``         print the scaled configuration in effect
@@ -185,6 +186,10 @@ def cmd_trace(args) -> int:
     config = TraceConfig() if args.interval is None else TraceConfig(
         sample_interval_s=args.interval)
     session = attach_trace(db, config)
+    if args.prom:
+        # Histograms feed the exposition's op-latency families; enabling
+        # them up front keeps the whole run in the percentiles.
+        db.metrics.enable_histograms()
     workload = args.workload.lower()
     if workload == "fillseq":
         fill_seq(db, args.records, quiesce=False)
@@ -213,6 +218,12 @@ def cmd_trace(args) -> int:
     if args.jsonl:
         session.write_jsonl(args.jsonl)
         print(f"wrote JSONL trace to {args.jsonl}")
+    if args.prom:
+        text = db.metrics.render_prom(
+            extra_gauges={"sim_time_seconds": db.runtime.clock.now})
+        with open(args.prom, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote Prometheus text exposition to {args.prom}")
     print()
     print(session.summary())
     db.close()
@@ -271,6 +282,11 @@ def cmd_experiment(args) -> int:
 def cmd_perf(args) -> int:
     from repro.bench.perf import main as perf_main
     return perf_main(args.perf_args)
+
+
+def cmd_stability(args) -> int:
+    from repro.bench.stability import main as stability_main
+    return stability_main(args.stability_args)
 
 
 def cmd_check(args) -> int:
@@ -478,6 +494,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write Chrome trace-event JSON (Perfetto-loadable)")
     sp.add_argument("--jsonl", metavar="PATH", default=None,
                     help="write the trace as JSON lines")
+    sp.add_argument("--prom", metavar="PATH", default=None,
+                    help="write a Prometheus text exposition of the final "
+                         "metrics (enables per-op latency histograms)")
     sp.add_argument("--validate", action="store_true",
                     help="schema-check the Chrome trace; nonzero exit on error")
     sp.set_defaults(fn=cmd_trace)
@@ -503,6 +522,15 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("perf_args", nargs=argparse.REMAINDER,
                     help="arguments for the perf suite, e.g. --quick --check")
     sp.set_defaults(fn=cmd_perf)
+
+    sp = sub.add_parser(
+        "stability",
+        help="stability suite: windowed throughput, stall blame, tail "
+             "latency (see `stability --help`)",
+        add_help=False)
+    sp.add_argument("stability_args", nargs=argparse.REMAINDER,
+                    help="arguments for the stability suite, e.g. --check")
+    sp.set_defaults(fn=cmd_stability)
 
     sp = sub.add_parser(
         "check", help="determinism lint + typing gate + sanitizer smoke",
@@ -585,6 +613,8 @@ def main(argv=None) -> int:
     # perf suite (which owns its own argparse) is dispatched before parsing.
     if argv and argv[0] == "perf":
         return cmd_perf(argparse.Namespace(perf_args=list(argv[1:])))
+    if argv and argv[0] == "stability":
+        return cmd_stability(argparse.Namespace(stability_args=list(argv[1:])))
     if argv and argv[0] == "check":
         return cmd_check(argparse.Namespace(check_args=list(argv[1:])))
     args = build_parser().parse_args(argv)

@@ -38,7 +38,7 @@ from repro.common.errors import ConfigError, InvariantViolation, StoreClosedErro
 from repro.common.options import FaultOptions, StorageOptions
 from repro.common.records import Key, Value
 from repro.db.iamdb import IamDB
-from repro.metrics import MetricsRegistry, merge_snapshots
+from repro.metrics import MetricsRegistry, StallBreakdown, merge_snapshots
 from repro.obs.tracer import NULL_TRACER, NullTracer
 from repro.storage.simdisk import SimClock
 from repro.check.effects.registry import observation_only
@@ -106,6 +106,7 @@ class ClusterDB:
         self._trace: Optional[Any] = None
         self._ops = 0
         self._closed = False
+        self._hist_enabled = False
         #: Last acked value per recently written key (failover audit window).
         self._acked_audit: "OrderedDict[int, Optional[Value]]" = OrderedDict()
         self.failover_reports: List[Dict[str, object]] = []
@@ -128,6 +129,8 @@ class ClusterDB:
                 db.runtime.attach_faults(replace(
                     self._fault_options,
                     seed=self._fault_options.seed + node_id * _FAULT_SEED_SALT))
+            if self._hist_enabled:
+                db.metrics.enable_histograms()
             replicas.append(Replica(node_id, db))
         shard_id = self._next_shard_id
         self._next_shard_id += 1
@@ -136,6 +139,22 @@ class ClusterDB:
         if self._trace is not None:
             self._trace.on_new_leader(shard)
         return shard
+
+    # ----------------------------------------------------------------- metrics
+    def enable_histograms(self) -> None:
+        """Turn on per-op-class latency histograms, cluster-wide.
+
+        Enables the cluster-tier registry (routed-op latencies) and every
+        replica DB's registry; replicas provisioned later (splits,
+        failover re-replication) inherit the setting.  Off by default --
+        the pay-for-what-you-use contract of the single-node layer holds
+        here too.
+        """
+        self._hist_enabled = True
+        self.metrics.enable_histograms()
+        for shard in self.router.shards:
+            for replica in shard.group.replicas:
+                replica.db.metrics.enable_histograms()
 
     # ------------------------------------------------------------------ faults
     def arm_faults(self, device_options: Optional[FaultOptions],
@@ -228,7 +247,10 @@ class ClusterDB:
         self.router.put(key, value)
         self._remember_ack(key, value)
         self._pump_all()
-        self.metrics.record_latency("insert", self.clock.now - t0)
+        elapsed = self.clock.now - t0
+        self.metrics.record_latency("insert", elapsed)
+        if self.metrics.hist_enabled:
+            self.metrics.observe("put", elapsed)
 
     def delete(self, key: Key) -> None:
         self._begin_op()
@@ -236,14 +258,20 @@ class ClusterDB:
         self.router.delete(key)
         self._remember_ack(key, None)
         self._pump_all()
-        self.metrics.record_latency("insert", self.clock.now - t0)
+        elapsed = self.clock.now - t0
+        self.metrics.record_latency("insert", elapsed)
+        if self.metrics.hist_enabled:
+            self.metrics.observe("put", elapsed)
 
     def get(self, key: Key) -> Optional[Value]:
         self._begin_op()
         t0 = self.clock.now
         value = self.router.get(key)
         self._pump_all()
-        self.metrics.record_latency("read", self.clock.now - t0)
+        elapsed = self.clock.now - t0
+        self.metrics.record_latency("read", elapsed)
+        if self.metrics.hist_enabled:
+            self.metrics.observe("get", elapsed)
         return value
 
     def multi_get(self, keys: List[Key]) -> List[Optional[Value]]:
@@ -258,7 +286,10 @@ class ClusterDB:
         t0 = self.clock.now
         values = self.router.multi_get(keys)
         self._pump_all()
-        self.metrics.record_latency("multi_get", self.clock.now - t0)
+        elapsed = self.clock.now - t0
+        self.metrics.record_latency("multi_get", elapsed)
+        if self.metrics.hist_enabled:
+            self.metrics.observe("multi_get", elapsed)
         return values
 
     def scan(self, lo_key: Optional[Key] = None, hi_key: Optional[Key] = None,
@@ -267,7 +298,10 @@ class ClusterDB:
         t0 = self.clock.now
         rows = self.router.scan(lo_key, hi_key, limit=limit)
         self._pump_all()
-        self.metrics.record_latency("scan", self.clock.now - t0)
+        elapsed = self.clock.now - t0
+        self.metrics.record_latency("scan", elapsed)
+        if self.metrics.hist_enabled:
+            self.metrics.observe("scan", elapsed)
         return rows
 
     def iterate(self, lo_key: Optional[Key] = None,
@@ -373,7 +407,18 @@ class ClusterDB:
             digest = self.metrics.latency[op].window_summary(0)
             if digest["count"]:
                 tail[op] = digest
+        # Storage-tier stall blame merged across shard leaders, plus the
+        # cluster tier's own waits (router admission pacing).
+        blame = StallBreakdown.from_snapshot(merged)
+        cluster_blame = self.metrics.stall_breakdown()
+        extra: Dict[str, object] = {}
+        if self.metrics.hist_enabled:
+            extra["latency_percentiles"] = self.metrics.hist_percentiles()
         return {
+            **extra,
+            "stall_breakdown": blame.as_dict(sim_seconds=self.clock.now),
+            "cluster_stall_breakdown": cluster_blame.as_dict(
+                sim_seconds=self.clock.now),
             "engine": self.options.engine,
             "n_shards": len(shards),
             "n_replicas": self.options.n_replicas,

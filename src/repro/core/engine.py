@@ -93,6 +93,7 @@ class EngineBase(abc.ABC):
             return 0.0
         self.runtime.clock.advance(extra)
         self.runtime.metrics.bump("slowdown:fault-degraded")
+        self.runtime.metrics.add_gate_delay("fault-degraded", extra)
         self._trace("gate", "fault-degraded", streak=streak, delay_s=extra)
         return extra
 

@@ -199,7 +199,10 @@ class IamDB:
         if self.memtable.nbytes >= self.engine.memtable_capacity:
             self._rotate_memtable()
         runtime.pump()
-        self.metrics.record_latency("insert", runtime.clock.now - t0)
+        elapsed = runtime.clock.now - t0
+        self.metrics.record_latency("insert", elapsed)
+        if self.metrics.hist_enabled:
+            self.metrics.observe("put", elapsed)
 
     def iterate(self, lo_key: Optional[Key] = None,
                 hi_key: Optional[Key] = None, *,
@@ -231,7 +234,10 @@ class IamDB:
         if self.memtable.nbytes >= self.engine.memtable_capacity:
             self._rotate_memtable()
         runtime.pump()
-        self.metrics.record_latency("insert", runtime.clock.now - t0)
+        elapsed = runtime.clock.now - t0
+        self.metrics.record_latency("insert", elapsed)
+        if self.metrics.hist_enabled:
+            self.metrics.observe("put", elapsed)
 
     @observation_only
     def _sanitize_db(self, event: str) -> None:
@@ -329,7 +335,10 @@ class IamDB:
         if rec is None:
             rec, _ = self.engine.get(key, snap)
         runtime.pump()
-        self.metrics.record_latency("read", runtime.clock.now - t0)
+        elapsed = runtime.clock.now - t0
+        self.metrics.record_latency("read", elapsed)
+        if self.metrics.hist_enabled:
+            self.metrics.observe("get", elapsed)
         if rec is None or rec[KIND] == DELETE:
             return None
         return rec[VALUE]
@@ -369,9 +378,12 @@ class IamDB:
                 latencies[i] = lats[j]
         runtime.pump()
         record = self.metrics.record_latency
+        hist_on = self.metrics.hist_enabled
         out: List[Optional[Value]] = []
         for i in range(n):
             record("read", latencies[i])
+            if hist_on:
+                self.metrics.observe("multi_get", latencies[i])
             rec = results[i]
             out.append(None if rec is None or rec[KIND] == DELETE else rec[VALUE])
         return out
@@ -409,7 +421,10 @@ class IamDB:
             out = list(merge_visible(streams, snapshot=snap, hi_key=hi_key,
                                      limit=limit))
         runtime.pump()
-        self.metrics.record_latency("scan", runtime.clock.now - t0)
+        elapsed = runtime.clock.now - t0
+        self.metrics.record_latency("scan", elapsed)
+        if self.metrics.hist_enabled:
+            self.metrics.observe("scan", elapsed)
         return out
 
     def iterator(self, lo_key: Optional[Key] = None,
@@ -548,7 +563,11 @@ class IamDB:
             "total_stall_s": self.metrics.total_stall_s,
             "longest_stall_s": longest[1] if longest is not None else 0.0,
             "longest_stall_reason": longest[0] if longest is not None else None,
+            "stall_breakdown": self.metrics.stall_breakdown().as_dict(
+                sim_seconds=self.runtime.clock.now),
         })
+        if self.metrics.hist_enabled:
+            d["latency_percentiles"] = self.metrics.hist_percentiles()
         return d
 
     @observation_only

@@ -99,6 +99,7 @@ class FlsmEngine(EngineBase):
             d = nbytes / (bw * opts.delayed_write_fraction) - nbytes / bw
             self.runtime.clock.advance(d)
             lat += d
+            self.runtime.metrics.add_gate_delay("slowdown:l0", d)
             if self.runtime.tracer.enabled:
                 self._trace("gate", "slowdown:l0", delay_s=d, l0_files=n0)
         guard = 0

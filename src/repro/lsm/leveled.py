@@ -95,6 +95,7 @@ class LeveledLsm(EngineBase):
                 self.runtime.clock.advance(d)
                 lat += d
                 self.runtime.metrics.bump("slowdown:debt")
+                self.runtime.metrics.add_gate_delay("slowdown:debt", d)
                 if self.runtime.tracer.enabled:
                     self._trace("gate", "slowdown:debt", delay_s=d)
         # L0 slowdown: pace writes while in the slowdown band.
@@ -104,6 +105,7 @@ class LeveledLsm(EngineBase):
             self.runtime.clock.advance(d)
             lat += d
             self.runtime.metrics.bump("slowdown:l0")
+            self.runtime.metrics.add_gate_delay("slowdown:l0", d)
             if self.runtime.tracer.enabled:
                 self._trace("gate", "slowdown:l0", delay_s=d, l0_files=n0)
         # L0 stop: hard stall until an L0 compaction brings the count down.

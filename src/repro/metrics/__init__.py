@@ -1,7 +1,13 @@
-"""Measurement: amplification accounting and latency histograms."""
+"""Measurement: amplification accounting, latency histograms, stall blame."""
 
 from repro.metrics.amplification import MetricsRegistry, StallStat, merge_snapshots
-from repro.metrics.latency import LatencyRecorder, percentile
+from repro.metrics.latency import (HIST_SUBBUCKETS, LatencyHistogram,
+                                   LatencyRecorder, merge_histogram_snapshots,
+                                   percentile, percentile_nearest_rank)
+from repro.metrics.prom import render_prom
+from repro.metrics.stalls import STALL_CLASSES, StallBreakdown, classify_stall_reason
 
 __all__ = ["MetricsRegistry", "StallStat", "LatencyRecorder", "merge_snapshots",
-           "percentile"]
+           "percentile", "percentile_nearest_rank", "LatencyHistogram",
+           "HIST_SUBBUCKETS", "merge_histogram_snapshots", "render_prom",
+           "STALL_CLASSES", "StallBreakdown", "classify_stall_reason"]

@@ -11,9 +11,12 @@
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, Optional, Tuple, Union
 
-from repro.metrics.latency import LatencyRecorder
+from repro.check.effects.registry import observation_only
+from repro.metrics.latency import (LatencyHistogram, LatencyRecorder,
+                                   merge_histogram_snapshots)
+from repro.metrics.stalls import StallBreakdown
 
 
 class StallStat:
@@ -61,6 +64,15 @@ class MetricsRegistry:
         self.latency: Dict[str, LatencyRecorder] = defaultdict(LatencyRecorder)
         #: Structured stalls by reason: count, total and longest duration.
         self.stalls: Dict[str, StallStat] = {}
+        #: Soft write-gate pacing delays by reason (admitted-late, not
+        #: blocked -- kept out of ``stalls`` so ``total_stall_s`` keeps its
+        #: hard-stall meaning; StallBreakdown reports both).
+        self.gate_delays: Dict[str, StallStat] = {}
+        #: Opt-in per-op-class latency histograms (see enable_histograms).
+        self.hist_enabled = False
+        #: Log-linear histogram per op class ("put", "get", "multi_get",
+        #: "scan"); populated only while ``hist_enabled`` is True.
+        self.op_hist: Dict[str, LatencyHistogram] = {}
 
     # ------------------------------------------------------------------ write
     def add_user_bytes(self, nbytes: int) -> None:
@@ -91,6 +103,45 @@ class MetricsRegistry:
     def record_latency(self, op: str, latency_s: float) -> None:
         self.latency[op].record(latency_s)
 
+    # ------------------------------------------------------------- histograms
+    @observation_only
+    def enable_histograms(self) -> None:
+        """Turn on per-op-class latency histograms (pay-for-what-you-use).
+
+        Off by default: the disabled path is a single attribute test in
+        :meth:`observe`, and runs with histograms off are byte-identical
+        to runs without this feature (proved in
+        ``tests/test_stability.py``).
+        """
+        self.hist_enabled = True
+
+    @observation_only
+    def observe(self, op_class: str, latency_s: float) -> None:
+        """Record one op latency into the op-class histogram (if enabled).
+
+        Op classes are the user-facing verbs -- "put", "get", "multi_get",
+        "scan" -- distinct from the :attr:`latency` recorder keys (which
+        predate this and fold get/multi_get into "read").
+        """
+        if not self.hist_enabled:
+            return
+        hist = self.op_hist.get(op_class)
+        if hist is None:
+            hist = LatencyHistogram()
+            self.op_hist[op_class] = hist
+        hist.record(latency_s)
+
+    @observation_only
+    def hist_snapshots(self) -> Dict[str, Dict[str, object]]:
+        """Snapshot of every op-class histogram (empty when disabled)."""
+        return {op: self.op_hist[op].snapshot() for op in sorted(self.op_hist)}
+
+    @observation_only
+    def hist_percentiles(self) -> Dict[str, Dict[str, float]]:
+        """p50/p99/p999/max/mean/count per op class (empty when disabled)."""
+        return {op: self.op_hist[op].percentiles()
+                for op in sorted(self.op_hist)}
+
     # ----------------------------------------------------------------- stalls
     def add_stall(self, reason: str, duration_s: float) -> None:
         """Record one foreground stall with its reason and duration."""
@@ -99,6 +150,23 @@ class MetricsRegistry:
             stat = StallStat()
             self.stalls[reason] = stat
         stat.record(duration_s)
+
+    def add_gate_delay(self, reason: str, duration_s: float) -> None:
+        """Record one soft write-gate pacing delay (admitted late)."""
+        stat = self.gate_delays.get(reason)
+        if stat is None:
+            stat = StallStat()
+            self.gate_delays[reason] = stat
+        stat.record(duration_s)
+
+    @property
+    def total_gate_delay_s(self) -> float:
+        return sum(st.total_s for st in self.gate_delays.values())
+
+    @observation_only
+    def stall_breakdown(self) -> StallBreakdown:
+        """Blame-class rollup of hard stalls + soft gate delays."""
+        return StallBreakdown.from_metrics(self.stalls, self.gate_delays)
 
     @property
     def total_stall_s(self) -> float:
@@ -186,7 +254,26 @@ class MetricsRegistry:
             "op_counts": {op: rec.count for op, rec in self.latency.items()},
             "stalls": {reason: (st.count, st.total_s, st.max_s)
                        for reason, st in self.stalls.items()},
+            "gate_delays": {reason: (st.count, st.total_s, st.max_s)
+                            for reason, st in self.gate_delays.items()},
+            **({"latency_hist": self.hist_snapshots()}
+               if self.hist_enabled else {}),
         }
+
+    @observation_only
+    def render_prom(self, *, extra_gauges: Optional[
+            Dict[str, Union[float, Tuple[str, float]]]] = None) -> str:
+        """Prometheus text exposition of this registry (plus derived rates).
+
+        See :mod:`repro.metrics.prom`; deterministic for a given state.
+        """
+        from repro.metrics.prom import render_prom
+        snap = self.snapshot()
+        snap["write_amplification"] = self.write_amplification()
+        snap["cache_hit_rate"] = self.cache_hit_rate()
+        snap["total_stall_s"] = self.total_stall_s
+        snap["total_gate_delay_s"] = self.total_gate_delay_s
+        return render_prom(snap, extra_gauges=extra_gauges)
 
     def reset(self) -> None:
         """Zero every counter (fresh-registry state, same object identity)."""
@@ -202,6 +289,8 @@ class MetricsRegistry:
         self.events.clear()
         self.latency.clear()
         self.stalls.clear()
+        self.gate_delays.clear()
+        self.op_hist.clear()  # hist_enabled is configuration, not a counter
 
 
 def merge_snapshots(snapshots: "Iterable[Dict[str, object]]") -> Dict[str, object]:
@@ -209,9 +298,12 @@ def merge_snapshots(snapshots: "Iterable[Dict[str, object]]") -> Dict[str, objec
 
     Cluster reports aggregate one snapshot per shard: scalar counters and
     the nested ``level_write_bytes`` / ``events`` / ``op_counts`` dicts are
-    summed, stalls merge as (count sum, total sum, max of max), and the
-    derived rates are recomputed from the merged totals -- the cache hit
-    rate is the byte-weighted rate, not the mean of per-shard rates.
+    summed, stalls and gate delays merge as (count sum, total sum, max of
+    max), per-op-class latency histograms merge by bucket-count addition
+    (so merged percentiles equal percentiles of the concatenated sample
+    stream -- see ``tests/test_latency_histogram.py``), and the derived
+    rates are recomputed from the merged totals -- the cache hit rate is
+    the byte-weighted rate, not the mean of per-shard rates.
     """
     scalar_keys = ("user_bytes", "wal_bytes", "compaction_read_bytes",
                    "query_seeks", "cache_hits", "cache_misses",
@@ -221,6 +313,8 @@ def merge_snapshots(snapshots: "Iterable[Dict[str, object]]") -> Dict[str, objec
     events: Dict[str, int] = {}
     op_counts: Dict[str, int] = {}
     stalls: Dict[str, Tuple[int, float, float]] = {}
+    gate_delays: Dict[str, Tuple[int, float, float]] = {}
+    hist_snaps: Dict[str, list] = {}
     for snap in snapshots:
         for key in scalar_keys:
             value = snap.get(key, 0)
@@ -244,10 +338,26 @@ def merge_snapshots(snapshots: "Iterable[Dict[str, object]]") -> Dict[str, objec
                 prev = stalls.get(reason, (0, 0.0, 0.0))
                 stalls[reason] = (prev[0] + count, prev[1] + total_s,
                                   max(prev[2], max_s))
+        raw_gates = snap.get("gate_delays")
+        if isinstance(raw_gates, dict):
+            for reason, (count, total_s, max_s) in raw_gates.items():
+                prev = gate_delays.get(reason, (0, 0.0, 0.0))
+                gate_delays[reason] = (prev[0] + count, prev[1] + total_s,
+                                       max(prev[2], max_s))
+        raw_hist = snap.get("latency_hist")
+        if isinstance(raw_hist, dict):
+            for op, hist_snap in raw_hist.items():
+                hist_snaps.setdefault(op, []).append(hist_snap)
     merged["level_write_bytes"] = dict(sorted(level_writes.items()))
     merged["events"] = dict(sorted(events.items()))
     merged["op_counts"] = dict(sorted(op_counts.items()))
     merged["stalls"] = {reason: stalls[reason] for reason in sorted(stalls)}
+    merged["gate_delays"] = {reason: gate_delays[reason]
+                             for reason in sorted(gate_delays)}
+    if hist_snaps:
+        merged["latency_hist"] = {
+            op: merge_histogram_snapshots(hist_snaps[op])
+            for op in sorted(hist_snaps)}
     user = merged["user_bytes"]
     compaction = sum(level_writes.values())
     merged["compaction_write_bytes"] = compaction
@@ -262,4 +372,5 @@ def merge_snapshots(snapshots: "Iterable[Dict[str, object]]") -> Dict[str, objec
     merged["total_stall_s"] = sum(t for _, t, _ in stalls.values())
     merged["longest_stall_s"] = max(
         (m for _, _, m in stalls.values()), default=0.0)
+    merged["total_gate_delay_s"] = sum(t for _, t, _ in gate_delays.values())
     return merged

@@ -13,6 +13,13 @@ from repro.obs.export import (
 )
 from repro.obs.sampler import DEFAULT_INTERVAL_S, TimeseriesSampler
 from repro.obs.session import TraceConfig, TraceSession, attach_trace
+from repro.obs.stability import (
+    StabilityProbe,
+    downsample,
+    percentile_timeline,
+    stall_window,
+    throughput_stats,
+)
 from repro.obs.tracer import (
     NULL_TRACER,
     NullTracer,
@@ -36,4 +43,9 @@ __all__ = [
     "to_jsonl",
     "validate_chrome_trace",
     "write_json",
+    "StabilityProbe",
+    "throughput_stats",
+    "stall_window",
+    "percentile_timeline",
+    "downsample",
 ]

@@ -123,6 +123,16 @@ def _counter_events(sampler: TimeseriesSampler,
         if isinstance(level_bytes, dict) and level_bytes:
             counter("level bytes",
                     {f"L{lvl}": n for lvl, n in sorted(level_bytes.items())})
+        by_class = row.get("stall_s_by_class")
+        if isinstance(by_class, dict) and any(v > 0.0 for v in by_class.values()):
+            counter("stall by class (s)",
+                    {str(cls): s for cls, s in by_class.items()})
+        lat_window = row.get("latency_window")
+        if isinstance(lat_window, dict) and lat_window:
+            counter("p99 latency (s)",
+                    {op: d["p99"] for op, d in sorted(lat_window.items())})
+            counter("p99.9 latency (s)",
+                    {op: d["p999"] for op, d in sorted(lat_window.items())})
     return out
 
 

@@ -21,6 +21,10 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List, Optional
 
+from repro.check.effects.registry import observation_only
+from repro.metrics.latency import HIST_QUANTILES
+from repro.metrics.stalls import STALL_CLASSES, StallBreakdown
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.db.iamdb import IamDB
 
@@ -48,6 +52,9 @@ class TimeseriesSampler:
         self._last_reads = self._read_count(db.metrics.snapshot())
         self._last_bloom_probes = db.metrics.bloom_probes
         self._last_bloom_negatives = db.metrics.bloom_negatives
+        #: Per-op-class histogram snapshots at the last sample (windowed
+        #: percentile timelines; empty while histograms are disabled).
+        self._last_hist: Dict[str, Dict[str, object]] = {}
 
     # ---------------------------------------------------------------- driving
     @property
@@ -57,6 +64,26 @@ class TimeseriesSampler:
     def maybe_sample(self) -> None:
         """Take a sample when the clock has crossed the next grid point."""
         if self.db.runtime.clock.now >= self._next_due:
+            self.sample()
+
+    @observation_only
+    def finalize(self) -> None:
+        """Flush the final partial window at run end.
+
+        ``maybe_sample`` only fires when the clock *crosses* a grid point,
+        so a run ending mid-window would silently drop everything since the
+        last row -- the tail of every throughput/latency timeline.  Called
+        by :meth:`repro.obs.session.TraceSession.finish` (and directly by
+        harnesses that drive the sampler without a session); takes one last
+        row iff time advanced or ops completed since the previous row, so
+        repeated calls do not append duplicate rows.
+        """
+        if not self.rows:
+            self.sample()
+            return
+        now = self.db.runtime.clock.now
+        if (now > self._last_ts
+                or self._op_total(self.db.metrics.snapshot()) != self._last_ops):
             self.sample()
 
     @staticmethod
@@ -141,6 +168,25 @@ class TimeseriesSampler:
             "blocks_per_read_window": ((dh + dm) / dreads) if dreads > 0 else 0.0,
             "bloom_negative_rate_window": (dbn / dbp) if dbp > 0 else 0.0,
         }
+        # Stall attribution: cumulative blamed seconds per class (hard
+        # stalls + soft gate delays; see repro.metrics.stalls).
+        breakdown = StallBreakdown.from_metrics(metrics.stalls,
+                                                metrics.gate_delays)
+        row["stall_s_by_class"] = breakdown.class_seconds()
+        if metrics.hist_enabled:
+            # Windowed per-op-class latency percentiles from histogram
+            # deltas -- the p99/p99.9 timelines of the stability reports.
+            lat_window: Dict[str, Dict[str, float]] = {}
+            for op in sorted(metrics.op_hist):
+                delta = metrics.op_hist[op].delta_since(
+                    self._last_hist.get(op, {}))
+                if delta.count > 0:
+                    per_op = {key: delta.percentile(q)
+                              for key, q in HIST_QUANTILES}
+                    per_op["count"] = float(delta.count)
+                    lat_window[op] = per_op
+            row["latency_window"] = lat_window
+            self._last_hist = metrics.hist_snapshots()
         row.update(self._sequence_shape())
         self.rows.append(row)
         self._last_ts = now

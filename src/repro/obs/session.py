@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
+from repro.metrics.stalls import STALL_CLASSES
 from repro.obs.export import chrome_trace, to_jsonl, write_json
 from repro.obs.sampler import DEFAULT_INTERVAL_S, TimeseriesSampler
 from repro.obs.tracer import PH_END, TraceOptions, Tracer
@@ -45,10 +46,10 @@ class TraceSession:
 
     # --------------------------------------------------------------- lifecycle
     def finish(self) -> None:
-        """Take the final sample row (idempotent; call after the workload)."""
+        """Flush the final partial window (idempotent; call after the workload)."""
         if not self._finished:
             self._finished = True
-            self.sampler.sample()
+            self.sampler.finalize()
 
     # ----------------------------------------------------------------- exports
     def to_jsonl(self) -> str:
@@ -145,6 +146,30 @@ class TraceSession:
                     f"max {st.max_s * 1e3:>9.3f}ms")
         else:
             lines.append("  (no stalls)")
+        lines.append("")
+        lines.append("blame (stalls + write-gate delays, by class):")
+        breakdown = metrics.stall_breakdown()
+        now = db.runtime.clock.now
+        if breakdown.total_s > 0.0:
+            for cls in STALL_CLASSES:
+                count, total_s, max_s = breakdown.classes[cls]
+                if count == 0:
+                    continue
+                frac = (total_s / now) if now > 0.0 else 0.0
+                lines.append(
+                    f"  {cls:<12} x{count:<6} total {total_s * 1e3:>9.3f}ms "
+                    f"max {max_s * 1e3:>9.3f}ms  {frac * 100:>5.1f}% of run")
+        else:
+            lines.append("  (no blamed time)")
+        if metrics.hist_enabled and metrics.op_hist:
+            lines.append("")
+            lines.append("latency percentiles (sim ms):")
+            for op, pcts in sorted(metrics.hist_percentiles().items()):
+                lines.append(
+                    f"  {op:<10} p50 {pcts['p50'] * 1e3:>9.4f} "
+                    f"p99 {pcts['p99'] * 1e3:>9.4f} "
+                    f"p99.9 {pcts['p999'] * 1e3:>9.4f} "
+                    f"max {pcts['max'] * 1e3:>9.4f}  (n={int(pcts['count'])})")
         lines.append("")
         lines.append("per-level write bytes over time:")
         lines.extend(self._level_write_timeline())

@@ -1,0 +1,211 @@
+"""Log-linear latency histograms: percentile semantics, merge identity.
+
+Pins the two percentile conventions of ``repro.metrics.latency`` (linear
+interpolation vs nearest rank), the histogram's bucket geometry, and the
+property that makes cluster tails honest: a merged histogram's percentiles
+are *identical* to the percentiles of the histogram built from the
+concatenated sample stream, for any sharding of the stream.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics import (
+    HIST_SUBBUCKETS,
+    LatencyHistogram,
+    merge_histogram_snapshots,
+    merge_snapshots,
+    percentile,
+    percentile_nearest_rank,
+)
+from repro.metrics.latency import bucket_bounds, bucket_index
+
+#: Worst-case ratio of a bucket's upper bound to its lower bound (bottom of
+#: an octave): (0.5 + 1/(2*S)) / 0.5.
+_BUCKET_RATIO = 1.0 + 1.0 / HIST_SUBBUCKETS
+
+
+# ------------------------------------------------------ percentile semantics
+def test_percentile_conventions_differ_and_are_documented():
+    samples = [1.0, 2.0, 3.0, 4.0]
+    # Linear interpolation may return a value that never occurred...
+    assert percentile(samples, 50.0) == pytest.approx(2.5)
+    # ...nearest rank is always a real sample.
+    assert percentile_nearest_rank(samples, 50.0) == 2.0
+    assert percentile_nearest_rank(samples, 50.1) == 3.0
+    for q in (0.0, 50.0, 99.0, 100.0):
+        assert percentile_nearest_rank(samples, q) in samples
+
+
+def test_percentile_empty_returns_zero_never_raises():
+    assert percentile([], 99.0) == 0.0
+    assert percentile_nearest_rank([], 99.0) == 0.0
+    h = LatencyHistogram()
+    assert h.percentile(99.0) == 0.0
+    assert h.percentiles() == {
+        "p50": 0.0, "p99": 0.0, "p999": 0.0,
+        "max": 0.0, "mean": 0.0, "count": 0.0}
+    assert h.min == 0.0 and h.max == 0.0
+
+
+def test_nearest_rank_extremes():
+    samples = [5.0, 1.0, 3.0]
+    assert percentile_nearest_rank(samples, 0.0) == 1.0    # rank clamps to 1
+    assert percentile_nearest_rank(samples, 100.0) == 5.0  # rank n
+
+
+# -------------------------------------------------------------------- buckets
+@given(st.floats(min_value=1e-12, max_value=1e6,
+                 allow_nan=False, allow_infinity=False))
+def test_bucket_index_bounds_roundtrip(value):
+    idx = bucket_index(value)
+    low, high = bucket_bounds(idx)
+    assert low <= value <= high
+    # Bucket width bounds the relative resolution of every percentile.
+    assert high / low <= _BUCKET_RATIO + 1e-12
+
+
+def test_bucket_indices_are_monotone_in_value():
+    values = sorted(random.Random(3).uniform(1e-9, 10.0) for _ in range(200))
+    indices = [bucket_index(v) for v in values]
+    assert indices == sorted(indices)
+
+
+def test_zero_latencies_get_their_own_bucket():
+    h = LatencyHistogram()
+    for _ in range(99):
+        h.record(0.0)
+    h.record(1.0)
+    assert h.count == 100
+    assert h.percentile(50.0) == 0.0   # the zero bucket holds the median
+    assert h.percentile(99.9) == 1.0   # clamped to the exact max
+    assert h.min == 0.0 and h.max == 1.0
+
+
+def test_histogram_percentile_tracks_nearest_rank_within_a_bucket():
+    rng = random.Random(11)
+    samples = [rng.lognormvariate(-9.0, 1.5) for _ in range(5000)]
+    h = LatencyHistogram()
+    for s in samples:
+        h.record(s)
+    for q in (50.0, 90.0, 99.0, 99.9):
+        exact = percentile_nearest_rank(samples, q)
+        approx = h.percentile(q)
+        # Upper bound within one bucket's width, clamped to the true max.
+        assert exact <= approx <= min(exact * _BUCKET_RATIO, max(samples))
+    assert h.percentile(100.0) == max(samples)
+    assert h.max == max(samples)
+    assert h.total == pytest.approx(sum(samples))
+
+
+# ---------------------------------------------------------------------- merge
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=10.0,
+                          allow_nan=False), min_size=1, max_size=300),
+       st.integers(min_value=1, max_value=8))
+def test_merged_percentiles_equal_concatenated_stream(latencies, n_shards):
+    """The merge identity, over arbitrary sharding of the sample stream."""
+    whole = LatencyHistogram()
+    for v in latencies:
+        whole.record(v)
+    shards = [LatencyHistogram() for _ in range(n_shards)]
+    for i, v in enumerate(latencies):
+        shards[i % n_shards].record(v)
+    merged = LatencyHistogram.merged(shards)
+    assert merged.count == whole.count
+    assert merged.max == whole.max
+    assert merged.min == whole.min
+    for q in (0.0, 50.0, 90.0, 99.0, 99.9, 100.0):
+        assert merged.percentile(q) == whole.percentile(q)
+    # Bucket counts (the mergeable state) are exactly equal; only the float
+    # sum is order-sensitive (non-associative addition).
+    ws, ms = whole.snapshot(), merged.snapshot()
+    assert ms["buckets"] == ws["buckets"]
+    assert ms["zero"] == ws["zero"]
+    assert ms["sum"] == pytest.approx(ws["sum"], rel=1e-12, abs=1e-15)
+
+
+def test_merge_histogram_snapshots_roundtrips_through_json_keys():
+    import json
+
+    a, b = LatencyHistogram(), LatencyHistogram()
+    for v in (0.001, 0.002, 0.0):
+        a.record(v)
+    for v in (0.004, 0.008):
+        b.record(v)
+    # Snapshot keys are strings, so a JSON round trip is the identity.
+    snaps = [json.loads(json.dumps(h.snapshot())) for h in (a, b)]
+    merged = merge_histogram_snapshots(snaps)
+    direct = LatencyHistogram.merged([a, b])
+    assert merged == direct.snapshot()
+
+
+def test_delta_since_equals_tail_histogram():
+    rng = random.Random(5)
+    head = [rng.uniform(0.0, 0.01) for _ in range(300)]
+    tail = [rng.uniform(0.0, 0.01) for _ in range(200)]
+    h = LatencyHistogram()
+    for v in head:
+        h.record(v)
+    snap = h.snapshot()
+    for v in tail:
+        h.record(v)
+    delta = h.delta_since(snap)
+    fresh = LatencyHistogram()
+    for v in tail:
+        fresh.record(v)
+    assert delta.count == fresh.count
+    assert delta.snapshot()["buckets"] == fresh.snapshot()["buckets"]
+    for q in (50.0, 99.0, 99.9):
+        # Window max is approximated by the top occupied bucket's bound, so
+        # quantiles match the fresh histogram to within that clamp.
+        assert delta.percentile(q) == pytest.approx(fresh.percentile(q),
+                                                    rel=1.0 / HIST_SUBBUCKETS)
+
+
+# -------------------------------------------------- registry-level snapshots
+def test_registry_merge_snapshots_carries_hist_and_gate_delays():
+    from repro.metrics import MetricsRegistry
+
+    regs = [MetricsRegistry() for _ in range(3)]
+    all_samples = []
+    rng = random.Random(9)
+    for i, m in enumerate(regs):
+        m.enable_histograms()
+        for _ in range(50):
+            v = rng.uniform(0.0, 0.005)
+            m.observe("get", v)
+            all_samples.append(v)
+        m.add_gate_delay("slowdown:l0", 0.001 * (i + 1))
+    merged = merge_snapshots([m.snapshot() for m in regs])
+
+    hist = LatencyHistogram.from_snapshot(merged["latency_hist"]["get"])
+    whole = LatencyHistogram()
+    for v in all_samples:
+        whole.record(v)
+    assert hist.count == 150
+    for q in (50.0, 99.0, 99.9):
+        assert hist.percentile(q) == whole.percentile(q)
+
+    count, total, worst = merged["gate_delays"]["slowdown:l0"]
+    assert count == 3
+    assert total == pytest.approx(0.006)
+    assert worst == pytest.approx(0.003)
+    assert merged["total_gate_delay_s"] == pytest.approx(0.006)
+
+
+def test_registry_observe_disabled_is_a_noop():
+    from repro.metrics import MetricsRegistry
+
+    m = MetricsRegistry()
+    m.observe("get", 0.001)   # histograms not enabled: swallowed
+    assert m.op_hist == {}
+    snap = m.snapshot()
+    assert "latency_hist" not in snap
+    m.enable_histograms()
+    m.observe("get", 0.001)
+    assert m.op_hist["get"].count == 1
+    assert "latency_hist" in m.snapshot()
