@@ -67,20 +67,35 @@ ENGINES = ("iam", "lsa", "leveldb", "rocksdb", "flsm", "lsmtrie")
 SETUPS = {"ssd-100g": SSD_100G, "hdd-100g": HDD_100G, "hdd-1t": HDD_1T}
 
 
-def _engine_options(engine: str, threads: int):
+def _engine_options(engine: str, threads: int, *, scheduler: str = "fair",
+                    compaction_selector: str = "provider",
+                    legacy_gate: bool = False):
+    kw = dict(key_size=KEY_SIZE, background_threads=threads,
+              scheduler=scheduler, compaction_selector=compaction_selector,
+              legacy_gate=legacy_gate)
     if engine in ("iam", "lsa"):
-        return IamOptions(key_size=KEY_SIZE, background_threads=threads)
+        return IamOptions(**kw)
     if engine == "lsmtrie":
-        return LsaOptions(key_size=KEY_SIZE, background_threads=threads)
+        return LsaOptions(**kw)
     if engine == "rocksdb":
-        return LsmOptions.rocksdb(key_size=KEY_SIZE, background_threads=threads)
-    return LsmOptions.leveldb(key_size=KEY_SIZE, background_threads=threads)
+        return LsmOptions.rocksdb(**kw)
+    return LsmOptions.leveldb(**kw)
 
 
-def _build_db(engine: str, device: str, memory_mb: float, threads: int) -> IamDB:
+def _scheduling_kw(args) -> dict:
+    """Scheduler/pacer knobs from the shared CLI flags (defaults when absent)."""
+    return {
+        "scheduler": getattr(args, "scheduler", "fair"),
+        "compaction_selector": getattr(args, "compaction_selector", "provider"),
+        "legacy_gate": getattr(args, "legacy_gate", False),
+    }
+
+
+def _build_db(engine: str, device: str, memory_mb: float, threads: int,
+              **scheduling) -> IamDB:
     dev = HDD if device == "hdd" else SSD
     storage = StorageOptions(device=dev, page_cache_bytes=int(memory_mb * 1e6))
-    opts = _engine_options(engine, threads)
+    opts = _engine_options(engine, threads, **scheduling)
     return IamDB(engine, engine_options=opts, storage_options=storage)
 
 
@@ -136,7 +151,8 @@ def _finish_trace(session, path: str) -> None:
 
 def cmd_load(args) -> int:
     _apply_sanitize(args)
-    db = _build_db(args.engine, args.device, args.memory_mb, args.threads)
+    db = _build_db(args.engine, args.device, args.memory_mb, args.threads,
+                   **_scheduling_kw(args))
     session = _maybe_trace(args, db)
     injector = _maybe_faults(args, db)
     fn = fill_seq if args.sequential else hash_load
@@ -157,7 +173,8 @@ def cmd_load(args) -> int:
 def cmd_ycsb(args) -> int:
     _apply_sanitize(args)
     spec = YCSB_WORKLOADS[args.workload.upper()]
-    db = _build_db(args.engine, args.device, args.memory_mb, args.threads)
+    db = _build_db(args.engine, args.device, args.memory_mb, args.threads,
+                   **_scheduling_kw(args))
     session = _maybe_trace(args, db)
     injector = _maybe_faults(args, db)
     hash_load(db, args.records, quiesce=False)
@@ -182,7 +199,8 @@ TRACE_WORKLOADS = ("load", "fillseq") + tuple(f"ycsb-{c}" for c in "abcdefg")
 def cmd_trace(args) -> int:
     from repro.obs import TraceConfig, attach_trace, validate_chrome_trace
     _apply_sanitize(args)
-    db = _build_db(args.engine, args.device, args.memory_mb, args.threads)
+    db = _build_db(args.engine, args.device, args.memory_mb, args.threads,
+                   **_scheduling_kw(args))
     config = TraceConfig() if args.interval is None else TraceConfig(
         sample_interval_s=args.interval)
     session = attach_trace(db, config)
@@ -345,7 +363,8 @@ def cmd_cluster(args) -> int:
         if args.split_mb else RebalanceOptions())
     cluster = ClusterDB(ClusterOptions(
         n_shards=args.shards, n_replicas=args.replicas, engine=args.engine,
-        engine_options=_engine_options(args.engine, args.threads),
+        engine_options=_engine_options(args.engine, args.threads,
+                                       **_scheduling_kw(args)),
         storage_options=storage, network=NetworkOptions(**net_kwargs),
         rebalance=rebalance))
     session = attach_cluster_trace(cluster) if args.trace or args.validate \
@@ -461,6 +480,21 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--faults", metavar="SPEC", default=None,
                         help="inject deterministic transient device faults, "
                              "e.g. rate=0.01,seed=7 or rate=0.5,ops=500:600")
+        scheduling(sp)
+
+    def scheduling(sp):
+        from repro.common.options import COMPACTION_SELECTORS, SCHEDULERS
+        sp.add_argument("--scheduler", choices=SCHEDULERS, default="fair",
+                        help="background pump order: fair per-class "
+                             "device-time accounting or the legacy "
+                             "activation-order loop")
+        sp.add_argument("--compaction-selector", choices=COMPACTION_SELECTORS,
+                        default="provider",
+                        help="which eligible level compacts first")
+        sp.add_argument("--legacy-gate", action="store_true",
+                        help="pre-scheduler write admission (cliff-edge "
+                             "slowdown bands, legacy pump order); "
+                             "byte-identical compat mode")
 
     sp = sub.add_parser("load", help="hash-load records, report amplifications")
     common(sp)
@@ -486,6 +520,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--threads", type=int, default=1)
     sp.add_argument("--sanitize", action="store_true",
                     help="attach the runtime sanitizer too")
+    scheduling(sp)
     sp.add_argument("--ops", type=int, default=3000,
                     help="YCSB operation count (ycsb-* workloads)")
     sp.add_argument("--interval", type=float, default=None,
@@ -582,6 +617,7 @@ def build_parser() -> argparse.ArgumentParser:
                     default=SSD_100G.memory_bytes / 1e6,
                     help="total cluster memory, split evenly across shards")
     sp.add_argument("--threads", type=int, default=1)
+    scheduling(sp)
     sp.add_argument("--net-latency-us", type=float, default=None,
                     help="per-message link latency in microseconds")
     sp.add_argument("--net-bandwidth-mb", type=float, default=None,

@@ -40,6 +40,10 @@ ROUTER_NODE = 0
 ADMISSION_BASE_S = 0.0005
 #: Admission-control pause ceiling.
 ADMISSION_MAX_S = 0.05
+#: Doubling cap: 2**16 * base is already far past ADMISSION_MAX_S, and
+#: capping the exponent keeps ``2.0 ** n`` finite for arbitrarily long
+#: failure streaks (a raw ``2.0 ** (streak - 1)`` overflows past ~1024).
+ADMISSION_MAX_DOUBLINGS = 16
 
 #: Encoded size of a routed read/scan request (key + framing handled by
 #: the network's rpc_bytes; this is the logical payload).
@@ -114,7 +118,8 @@ class Router:
         streak = shard.group.leader.db.runtime.pool.failed_streak
         if streak <= 0:
             return
-        delay = ADMISSION_BASE_S * (2.0 ** (streak - 1))
+        doublings = min(streak - 1, ADMISSION_MAX_DOUBLINGS)
+        delay = ADMISSION_BASE_S * (2.0 ** doublings)
         if delay > ADMISSION_MAX_S:
             delay = ADMISSION_MAX_S
         self.network.clock.advance(delay)

@@ -27,14 +27,33 @@ from typing import (
 
 from repro.common.records import Key, RecordTuple
 from repro.storage.background import BackgroundJob
+from repro.storage.pacing import (
+    RateEstimator,
+    TokenBucketPacer,
+    degraded_extra_delay_s,
+)
 from repro.storage.runtime import Runtime
 from repro.check.effects.registry import effects, observation_only
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.check.sanitizer import Sanitizer
+    from repro.common.options import TreeOptions
 
 #: Callable returning the live snapshot sequence numbers (for merge GC).
 SnapshotProvider = Callable[[], Sequence[int]]
+
+#: Token-bucket burst capacity as a fraction of the memtable; a quarter
+#: memtable absorbs ordinary write bursts without engaging the pacer.
+PACER_BURST_FRACTION = 0.25
+
+#: Absolute burst cap in bytes.  A large burst lets L0 overshoot well past
+#: the pressure point before any delay bites (the structure degrades, reads
+#: slow down, windowed throughput swings); a dozen-write allowance is enough
+#: to forgive blips while still braking the moment pressure persists.
+PACER_BURST_BYTES = 1024.0
+
+#: Sustainable-rate estimation window in memtables of user bytes.
+PACER_WINDOW_MEMTABLES = 8
 
 
 class EngineBase(abc.ABC):
@@ -48,7 +67,40 @@ class EngineBase(abc.ABC):
         #: Optional runtime sanitizer (attached by the DB wrapper when the
         #: debug layer is enabled; see :mod:`repro.check.sanitizer`).
         self.sanitizer: Optional["Sanitizer"] = None
+        # Scheduling defaults (legacy-compatible) until the engine calls
+        # :meth:`_init_scheduling` with its options.
+        self.legacy_gate = False
+        self.compaction_selector = "provider"
+        self._pacer: Optional[TokenBucketPacer] = None
+        self._rate_estimator: Optional[RateEstimator] = None
+        self._eligible_since: Dict[int, int] = {}
+        self._eligible_tick = 0
         runtime.pool.set_provider(self.pick_background_job)
+
+    def _init_scheduling(self, options: "TreeOptions") -> None:
+        """Wire the options' scheduler/pacer/selector choices into the stack.
+
+        Called by each engine's constructor after its options are set (the
+        pacer sizes its burst from :attr:`memtable_capacity`).  With
+        ``legacy_gate=True`` everything collapses to the pre-scheduler
+        behavior: legacy pump, provider selection, no token bucket.
+        """
+        pool = self.runtime.pool
+        self.legacy_gate = options.legacy_gate
+        if options.legacy_gate:
+            pool.scheduler = "legacy"
+            self.compaction_selector = "provider"
+            self._pacer = None
+            self._rate_estimator = None
+            return
+        pool.scheduler = options.scheduler
+        self.compaction_selector = options.compaction_selector
+        bandwidth = self.runtime.options.device.write_bandwidth
+        capacity = max(1, self.memtable_capacity)
+        burst = min(capacity * PACER_BURST_FRACTION, PACER_BURST_BYTES)
+        self._pacer = TokenBucketPacer(burst, now=self.runtime.clock.now)
+        self._rate_estimator = RateEstimator(
+            bandwidth, window_bytes=PACER_WINDOW_MEMTABLES * capacity)
 
     @observation_only
     def _sanitize(self, event: str) -> None:
@@ -88,7 +140,7 @@ class EngineBase(abc.ABC):
             return 0.0
         frac = max(2.0 ** -min(streak, 8), 1.0 / 256.0)
         bw = self.runtime.options.device.write_bandwidth
-        extra = nbytes / (bw * frac) - nbytes / bw
+        extra = degraded_extra_delay_s(nbytes, bw, frac)
         if extra <= 0.0:
             return 0.0
         self.runtime.clock.advance(extra)
@@ -96,6 +148,99 @@ class EngineBase(abc.ABC):
         self.runtime.metrics.add_gate_delay("fault-degraded", extra)
         self._trace("gate", "fault-degraded", streak=streak, delay_s=extra)
         return extra
+
+    def _pace_pressure(self) -> bool:
+        """True when background backlog warrants pacing foreground writes.
+
+        The base heuristic engages only when work is actually queued behind
+        the running jobs (the pool cannot keep up) -- engines with richer
+        structural signals (L0 file counts, pending compaction debt)
+        override this with their own pressure test.  Kept deliberately
+        conservative: token-bucket delays are accounted as gate delays, so
+        over-engaging the pacer would itself show up as instability.
+        """
+        return bool(self.runtime.pool.queue)
+
+    def _pace_rate(self, sustainable: float) -> float:
+        """Admission rate for the token bucket given the estimator's rate.
+
+        The base policy admits at the observed sustainable rate.  Engines
+        with graded structural pressure (L0 distance to the stop trigger,
+        debt over the soft limit) override this to *ramp*: brake gently at
+        the first sign of pressure and approach the sustainable rate only
+        as the structure nears its hard limit, so there is no single point
+        where admission falls off a cliff.
+        """
+        return sustainable
+
+    @effects("CLOCK_ADVANCE", "STATE_MUTATE")
+    def _token_pace(self, nbytes: int) -> float:
+        """Token-bucket admission at the observed sustainable ingest rate.
+
+        Replaces the legacy cliff-edge slowdown bands: instead of jumping
+        from full speed to ``delayed_write_fraction`` of bandwidth past a
+        trigger, writes are paced smoothly at the rate the background
+        machinery has recently proven it can absorb
+        (:class:`repro.storage.pacing.RateEstimator`).  Only engages while
+        :meth:`_pace_pressure` reports backlog; otherwise the bucket just
+        refills.  Returns the added latency (0.0 on the clean path).
+        """
+        pacer = self._pacer
+        estimator = self._rate_estimator
+        if pacer is None or estimator is None or nbytes <= 0:
+            return 0.0
+        pool = self.runtime.pool
+        metrics = self.runtime.metrics
+        estimator.observe(pool.bg_drained_s, metrics.user_bytes)
+        rate = self._pace_rate(estimator.rate())
+        now = self.runtime.clock.now
+        if not self._pace_pressure():
+            pacer.refill(now, rate)
+            return 0.0
+        delay = pacer.admit(nbytes, now, rate)
+        if delay <= 0.0:
+            return 0.0
+        # The advance opens idle device time that the next pump() converts
+        # into background progress via bg_grant: pacing *is* compaction
+        # headroom, not dead waiting.
+        self.runtime.clock.advance(delay)
+        metrics.bump("pace:token-bucket")
+        metrics.add_gate_delay("pace:token-bucket", delay)
+        self._trace("gate", "pace:token-bucket", delay_s=delay, rate=rate)
+        return delay
+
+    def _select_level(self, candidates: Sequence[Tuple[int, float, int]],
+                      ) -> Optional[int]:
+        """Apply the configured compaction selector to eligible levels.
+
+        ``candidates`` holds ``(level, score, overdue_bytes)`` for every
+        level whose score crossed its threshold.  Returns the chosen level,
+        or None for ``provider`` order (caller keeps its historical pick).
+
+        * ``oldest-first``: the level that has been continuously eligible
+          the longest (starvation-proof; ages tracked per level).
+        * ``greedy-largest-debt``: the level with the most bytes over its
+          threshold (drains the biggest backlog first).
+        """
+        if not candidates or self.compaction_selector == "provider":
+            return None
+        if self.compaction_selector == "greedy-largest-debt":
+            return max(candidates, key=lambda c: (c[2], c[1], -c[0]))[0]
+        # oldest-first: age levels from the moment they become eligible;
+        # a level that drops below threshold loses its age.
+        live = {c[0] for c in candidates}
+        for level in [lv for lv in self._eligible_since if lv not in live]:
+            del self._eligible_since[level]
+        for level in sorted(live):
+            if level not in self._eligible_since:
+                self._eligible_since[level] = self._eligible_tick
+                self._eligible_tick += 1
+        return min(live, key=lambda lv: (self._eligible_since[lv], lv))
+
+    def _reset_selector_state(self) -> None:
+        """Forget selector aging (crash-restore rebuilds the structure)."""
+        self._eligible_since.clear()
+        self._eligible_tick = 0
 
     # ------------------------------------------------------------------ write
     @property
@@ -113,7 +258,9 @@ class EngineBase(abc.ABC):
         ``nbytes`` is the write's encoded size (slowdowns pace by bytes).
         Returns the simulated latency spent gated (0.0 when unobstructed).
         """
-        return self._fault_gate(nbytes)
+        lat = self._fault_gate(nbytes)
+        lat += self._token_pace(nbytes)
+        return lat
 
     # ------------------------------------------------------------- background
     @abc.abstractmethod

@@ -30,6 +30,7 @@ from repro.common.options import LsmOptions
 from repro.common.records import KEY, RecordTuple, encoded_size
 from repro.core.engine import EngineBase
 from repro.storage.background import BackgroundJob
+from repro.storage.pacing import degraded_extra_delay_s
 from repro.storage.runtime import Runtime
 from repro.table.merge import merge_runs
 from repro.table.mstable import MSTable
@@ -54,6 +55,7 @@ class LeveledLsm(EngineBase):
         self.flushes = 0
         self.compactions = 0
         self.trivial_moves = 0
+        self._init_scheduling(options)
 
     # ------------------------------------------------------------------ write
     @property
@@ -82,10 +84,23 @@ class LeveledLsm(EngineBase):
         """Pace a write to the delayed rate (RocksDB's delayed_write_rate)."""
         bw = self.runtime.disk.profile.write_bandwidth
         frac = self.options.delayed_write_fraction
-        return nbytes / (bw * frac) - nbytes / bw
+        return degraded_extra_delay_s(nbytes, bw, frac)
 
     @effects("CLOCK_ADVANCE", "DISK_CHARGE", "SPAN_BEGIN", "SPAN_END", "STATE_MUTATE")
     def write_gate(self, nbytes: int) -> float:
+        if self.legacy_gate:
+            return self._legacy_write_gate(nbytes)
+        # Stability scheduler: smooth token-bucket pacing at the measured
+        # sustainable rate replaces the cliff-edge slowdown bands; the hard
+        # L0 stop survives only as a rarely-hit backstop.
+        lat = self._fault_gate(nbytes)
+        lat += self._token_pace(nbytes)
+        lat += self._l0_stop_backstop(nbytes)
+        return lat
+
+    @effects("CLOCK_ADVANCE", "DISK_CHARGE", "SPAN_BEGIN", "SPAN_END", "STATE_MUTATE")
+    def _legacy_write_gate(self, nbytes: int) -> float:
+        """Pre-scheduler write admission: cliff-edge bands (byte-identical)."""
         opts = self.options
         lat = self._fault_gate(nbytes)
         # Soft gate: RocksDB-style delayed writes on pending compaction debt.
@@ -108,9 +123,16 @@ class LeveledLsm(EngineBase):
             self.runtime.metrics.add_gate_delay("slowdown:l0", d)
             if self.runtime.tracer.enabled:
                 self._trace("gate", "slowdown:l0", delay_s=d, l0_files=n0)
-        # L0 stop: hard stall until an L0 compaction brings the count down.
+        lat += self._l0_stop_backstop(nbytes)
+        return lat
+
+    @effects("CLOCK_ADVANCE", "DISK_CHARGE", "SPAN_BEGIN", "SPAN_END", "STATE_MUTATE")
+    def _l0_stop_backstop(self, nbytes: int) -> float:
+        """Hard stall until an L0 compaction brings the file count down."""
+        opts = self.options
         guard = 0
         stall_s = 0.0
+        lat = 0.0
         while len(self.levels[0]) >= opts.l0_stop_trigger:
             guard += 1
             if guard > 100_000:
@@ -128,6 +150,48 @@ class LeveledLsm(EngineBase):
                     self._trace("stall", "stall", reason="l0-stop",
                                 duration_s=stall_s)
         return lat
+
+    def _pace_pressure(self) -> bool:
+        """Pace when L0 or pending debt crosses its legacy slowdown point.
+
+        Engaging earlier (at the compaction trigger) over-paces: YCSB's
+        read-heavy phases drain debt through granted idle time on their
+        own, and every pacer delay is an accounted gate delay.  The band
+        thresholds mark where the structure demonstrably can't keep up.
+        """
+        opts = self.options
+        if len(self.levels[0]) >= opts.l0_slowdown_trigger:
+            return True
+        soft = opts.pending_compaction_soft_bytes
+        return bool(soft and self._pending_compaction_bytes() > soft)
+
+    def _pace_rate(self, sustainable: float) -> float:
+        """Ramp the brake from the legacy band strength to the measured rate.
+
+        At the slowdown trigger the bucket admits at
+        ``bandwidth * delayed_write_fraction`` -- exactly the legacy band's
+        effective rate, but smooth (burst-absorbed, no on/off cliff).  As
+        L0 climbs toward the stop trigger (or debt doubles its soft
+        limit), the admitted rate ramps linearly down to the estimator's
+        sustainable rate, floored at ``delayed_write_fraction`` of the
+        band rate so a cold estimate can never freeze admission.
+        """
+        opts = self.options
+        bw = self.runtime.options.device.write_bandwidth
+        frac = opts.delayed_write_fraction
+        gentle = bw * frac
+        n0 = len(self.levels[0])
+        lo, hi = opts.l0_slowdown_trigger, opts.l0_stop_trigger - 1
+        scale = 0.0
+        if n0 >= lo:
+            scale = min(1.0, (n0 - lo) / (hi - lo)) if hi > lo else 1.0
+        soft = opts.pending_compaction_soft_bytes
+        if soft:
+            debt = self._pending_compaction_bytes()
+            if debt > soft:
+                scale = max(scale, min(1.0, (debt - soft) / soft))
+        floor = min(max(sustainable, gentle * frac), gentle)
+        return gentle + scale * (floor - gentle)
 
     def _pending_compaction_bytes(self) -> int:
         """RocksDB's pending-debt estimate: bytes above each level threshold."""
@@ -150,13 +214,27 @@ class LeveledLsm(EngineBase):
                 scores.append((self.level_bytes[i] / opts.level_target_bytes(i), i))
         return scores
 
+    def _overdue_bytes(self, level: int) -> int:
+        """Bytes past the level's compaction threshold (selector debt)."""
+        opts = self.options
+        if level == 0:
+            over = len(self.levels[0]) - opts.l0_compaction_trigger
+            return max(0, over) * opts.file_bytes
+        return max(0, self.level_bytes[level] - opts.level_target_bytes(level))
+
     def pick_background_job(self) -> Optional[BackgroundJob]:
         scores = self._scores()
         if not scores:
             return None
-        score, level = max(scores)
-        if score < 1.0:
+        eligible = [(lvl, sc) for sc, lvl in scores if sc >= 1.0]
+        if not eligible:
             return None
+        chosen = self._select_level(
+            [(lvl, sc, self._overdue_bytes(lvl)) for lvl, sc in eligible])
+        if chosen is None:
+            score, level = max(scores)  # provider order: highest score wins
+        else:
+            level = chosen
         self._busy_levels.add(level)
         self._busy_levels.add(level + 1)
 
@@ -550,6 +628,7 @@ class LeveledLsm(EngineBase):
         for lst in self.levels:
             for t in lst:
                 t.delete()
+        self._reset_selector_state()
         n = self.options.max_levels
         if state is None:
             self.levels = [[] for _ in range(n)]

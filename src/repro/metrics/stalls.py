@@ -11,6 +11,9 @@ ate my throughput?" without a per-reason legend:
   fault-injection degraded gate.  These are *gate delays* (the write is
   admitted late, the clock advances inline), tracked separately from hard
   stalls in :class:`~repro.metrics.amplification.MetricsRegistry`.
+* ``pacing``      -- token-bucket admission at the sustainable ingest rate
+  ("pace:<mechanism>"); the stability scheduler's smooth replacement for
+  the cliff-edge slowdown bands.
 * ``flush-wait``  -- blocked on a memtable flush ("memtable-rotation",
   "explicit-flush").
 * ``l0-stop``     -- the hard L0 write stop (leveled engines).
@@ -18,7 +21,9 @@ ate my throughput?" without a per-reason legend:
   ("wait:<job>").
 * ``network``     -- cluster router admission and link pacing.
 * ``other``       -- any reason the map does not recognize (kept visible,
-  never silently dropped).
+  never silently dropped).  Structured prefixes ("wait:", "pace:",
+  "slowdown:") always land in their named class, so new emit sites that
+  follow the prefix convention can never silently grow this bucket.
 
 Everything here is pure bookkeeping over snapshots -- observation-only by
 registry prefix (see ``repro.check.effects.registry``).
@@ -33,7 +38,8 @@ if TYPE_CHECKING:  # no runtime import: amplification imports this module
 
 #: The fixed blame classes, in report order.
 STALL_CLASSES: Tuple[str, ...] = (
-    "write-gate", "flush-wait", "l0-stop", "pool-queue", "network", "other",
+    "write-gate", "pacing", "flush-wait", "l0-stop", "pool-queue", "network",
+    "other",
 )
 
 #: (count, total_s, max_s) -- the wire form of one reason's aggregate.
@@ -50,6 +56,8 @@ def classify_stall_reason(reason: str) -> str:
         return "network"
     if reason.startswith("wait:"):
         return "pool-queue"
+    if reason.startswith("pace:"):
+        return "pacing"
     if reason.startswith("slowdown:") or reason == "fault-degraded":
         return "write-gate"
     return "other"

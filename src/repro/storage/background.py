@@ -33,6 +33,22 @@ the engine can re-pick it later) while a flush is re-queued after a longer
 pause -- flushes hold the only copy of the immutable memtable and are never
 dropped.  Repeated give-ups raise ``failed_streak``, which the engines'
 write gates translate into pacing (graceful degradation, not crash).
+
+Two schedulers drain active-job debt (``scheduler`` attribute):
+
+* ``"fair"`` (default) -- weighted fair queueing between the *flush* and
+  *compaction* classes.  Each class accumulates drained device seconds; the
+  pump offers idle time to jobs in ascending class virtual time
+  (``drained_s / weight``, flushes weighted heavier), ties broken by
+  activation order -- so within the flush class the order is still strictly
+  FIFO.  A burst of compaction debt can no longer starve a flush of device
+  idle (Luo & Carey's fair I/O allocation between flushes and compactions).
+* ``"legacy"`` -- the original pure round-robin over activation order,
+  preserved verbatim for the ``legacy_gate=True`` byte-identity proof.
+
+The pool also keeps a cumulative retired-debt counter (``bg_drained_s``)
+that the engines' token-bucket pacers read to estimate the sustainable
+ingest rate (see :mod:`repro.storage.pacing`).
 """
 
 from __future__ import annotations
@@ -59,13 +75,26 @@ StartFn = Callable[[], float]
 #: provider() offers the next compaction job when a thread goes idle.
 Provider = Callable[[], Optional["BackgroundJob"]]
 
+#: Fair-share weights per job class: flushes get twice the device share of
+#: compactions (a stalled flush blocks the foreground write path directly,
+#: a lagging compaction only builds future debt).
+CLASS_WEIGHTS = {"flush": 2.0, "compaction": 1.0}
+
+#: Largest single drain grant (device seconds) while *both* classes hold
+#: active jobs.  Without a quantum the first job in fair order swallows all
+#: available idle time in one grant and fairness never gets to arbitrate;
+#: with one class active there is nothing to arbitrate and grants stay
+#: unchunked (identical to the legacy pump for the single-threaded
+#: configurations the stability suite runs).
+FAIR_QUANTUM_S = 0.002
+
 
 class BackgroundJob:
     """A unit of background work: structural effect + device-time debt."""
 
     __slots__ = ("name", "start_fn", "debt_s", "debt_total", "not_before",
                  "state", "on_complete", "job_id", "high_priority",
-                 "retries", "retry_at", "failed")
+                 "retries", "retry_at", "failed", "seq")
 
     def __init__(self, name: str, start_fn: StartFn,
                  on_complete: Optional[Callable[[], None]] = None) -> None:
@@ -87,6 +116,14 @@ class BackgroundJob:
         self.retries = 0
         self.retry_at = 0.0
         self.failed = False
+        #: Activation order (assigned by the pool); the fair scheduler's
+        #: within-class tie-break, so flush order stays strictly FIFO.
+        self.seq = 0
+
+    @property
+    def klass(self) -> str:
+        """Fair-share accounting class ("flush" or "compaction")."""
+        return "flush" if self.high_priority else "compaction"
 
     @property
     def done(self) -> bool:
@@ -122,6 +159,16 @@ class BackgroundPool:
         self.failed_streak = 0
         #: Total jobs that exhausted their retries (monotonic).
         self.failed_jobs = 0
+        #: Debt-draining scheduler: "fair" (weighted per-class device-time
+        #: accounting) or "legacy" (pure round-robin).  Engines set this
+        #: from ``TreeOptions.scheduler`` via ``_init_scheduling``.
+        self.scheduler = "fair"
+        #: Cumulative retired background debt in device seconds -- the
+        #: pacers' sustainable-rate signal (monotonic, sim-clock units).
+        self.bg_drained_s = 0.0
+        #: Drained device seconds per fair-share class (monotonic).
+        self.class_drained_s = {"flush": 0.0, "compaction": 0.0}
+        self._next_seq = 1
 
     def set_provider(self, provider: Optional[Provider]) -> None:
         """Register the engine's compaction-picking callback."""
@@ -139,21 +186,28 @@ class BackgroundPool:
         self._fill_threads()
         return job
 
-    def _enqueue(self, job: BackgroundJob, *, high_priority: bool) -> None:
+    def _enqueue(self, job: BackgroundJob, *, high_priority: bool,
+                 front: bool = False) -> None:
         """Priority insert that stays FIFO *within* each priority class.
 
         A plain ``appendleft`` for high-priority jobs would run two queued
         flushes LIFO -- a later memtable flushing before an earlier one --
         so high-priority jobs are inserted after any high-priority entries
         already queued, and before the first normal-priority entry.
+
+        ``front=True`` restores a *re-queued* job's place at the head of
+        its priority segment: a faulted flush was popped from the front of
+        the flush class, so every flush still queued is younger and must
+        stay behind it.
         """
         job.high_priority = high_priority
         if high_priority:
             idx = 0
-            for queued in self.queue:
-                if not queued.high_priority:
-                    break
-                idx += 1
+            if not front:
+                for queued in self.queue:
+                    if not queued.high_priority:
+                        break
+                    idx += 1
             self.queue.insert(idx, job)
         else:
             self.queue.append(job)
@@ -179,6 +233,8 @@ class BackgroundPool:
             self._job_fault(job)
             return
         job.state = ACTIVE
+        job.seq = self._next_seq
+        self._next_seq += 1
         job.not_before = max(self.disk.busy_until, 0.0)
         job.debt_s = job.start_fn()
         if job.debt_s < 0:
@@ -215,7 +271,8 @@ class BackgroundPool:
             backoff = min(opts.backoff_base_s * (2.0 ** (job.retries - 1)),
                           opts.backoff_max_s)
             job.retry_at = now + backoff
-            self._enqueue(job, high_priority=job.high_priority)
+            self._enqueue(job, high_priority=job.high_priority,
+                          front=job.high_priority and self.scheduler != "legacy")
             return
         # Retries exhausted.
         self.failed_streak += 1
@@ -231,7 +288,8 @@ class BackgroundPool:
             if self.tracer.enabled:
                 self.tracer.instant("fault", "flush-requeue", job=job.name,
                                     id=job.job_id)
-            self._enqueue(job, high_priority=True)
+            self._enqueue(job, high_priority=True,
+                          front=self.scheduler != "legacy")
             return
         job.failed = True
         job.state = DONE
@@ -246,30 +304,54 @@ class BackgroundPool:
             job.on_complete()
 
     def _pop_ready(self) -> Optional[BackgroundJob]:
-        """Next queued job whose backoff has expired (FIFO otherwise)."""
+        """Next queued job whose backoff has expired (FIFO otherwise).
+
+        Under the fair scheduler a flush whose backoff has not expired
+        *blocks every later flush*: recovery correctness needs memtables
+        on disk in sequence order, so a re-queued flush must not be
+        overtaken by a younger one (compactions may still proceed).  The
+        legacy scheduler keeps the original any-ready-job pick for the
+        byte-identity proof.
+        """
         if self.injector is None:
             return self.queue.popleft() if self.queue else None
         now = self.disk.clock.now
         for i, job in enumerate(self.queue):
+            if not self._eligible_now(job, i):
+                continue
             if job.retry_at <= now:
                 del self.queue[i]
                 return job
         return None
 
+    def _eligible_now(self, job: BackgroundJob, index: int) -> bool:
+        """Whether queue[index] may activate next (flush-head blocking).
+
+        Under the fair scheduler only the *first* queued flush is eligible;
+        younger flushes wait behind it even through its fault backoff.
+        Compactions are always eligible, and the legacy scheduler keeps the
+        original any-job pick.
+        """
+        if not job.high_priority or self.scheduler == "legacy":
+            return True
+        return not any(self.queue[i].high_priority for i in range(index))
+
     def _queue_ready(self) -> bool:
         if self.injector is None:
             return bool(self.queue)
         now = self.disk.clock.now
-        return any(job.retry_at <= now for job in self.queue)
+        return any(job.retry_at <= now and self._eligible_now(job, i)
+                   for i, job in enumerate(self.queue))
 
     @effects("CLOCK_ADVANCE", "STATE_MUTATE")
     def _sleep_until_ready(self) -> Optional[float]:
-        """Advance the clock to the earliest queued retry; None when there is
-        nothing to wait for (no injector or empty queue)."""
+        """Advance the clock to the earliest *eligible* queued retry; None
+        when there is nothing to wait for (no injector or empty queue)."""
         if self.injector is None or not self.queue:
             return None
         now = self.disk.clock.now
-        target = min(job.retry_at for job in self.queue)
+        target = min(job.retry_at for i, job in enumerate(self.queue)
+                     if self._eligible_now(job, i))
         if target <= now:
             return 0.0
         self.disk.clock.advance(target - now)
@@ -292,6 +374,34 @@ class BackgroundPool:
     # ------------------------------------------------------------------- pump
     def pump(self) -> None:
         """Drain active-job debt from device idle time up to "now"."""
+        if self.scheduler == "legacy":
+            self._pump_legacy()
+            return
+        disk = self.disk
+        while True:
+            self._fill_threads()
+            if not self.active:
+                return
+            progressed = False
+            contested = len({j.klass for j in self.active}) > 1
+            for job in self._fair_order():
+                if job.state != ACTIVE:
+                    continue
+                ask = min(job.debt_s, FAIR_QUANTUM_S) if contested else job.debt_s
+                granted = disk.bg_grant(job.not_before, ask, self.lookahead_s)
+                if granted > 0.0:
+                    progressed = True
+                    job.debt_s -= granted
+                    job.not_before = disk.busy_until
+                    self._account_drain(job, granted)
+                    if job.debt_s <= 1e-12:
+                        job.debt_s = 0.0
+                        self._retire(job)
+            if not progressed:
+                return
+
+    def _pump_legacy(self) -> None:
+        """The original pure round-robin pump (legacy_gate byte identity)."""
         disk = self.disk
         while True:
             self._fill_threads()
@@ -304,11 +414,29 @@ class BackgroundPool:
                     progressed = True
                     job.debt_s -= granted
                     job.not_before = disk.busy_until
+                    self._account_drain(job, granted)
                     if job.debt_s <= 1e-12:
                         job.debt_s = 0.0
                         self._retire(job)
             if not progressed:
                 return
+
+    def _fair_order(self) -> List[BackgroundJob]:
+        """Active jobs in weighted-fair drain order.
+
+        Ascending class virtual time (drained seconds over class weight) --
+        the class that has consumed the least weighted device share drains
+        first -- with activation order as the tie-break, which keeps the
+        flush class strictly FIFO.
+        """
+        vtime = {cls: self.class_drained_s[cls] / CLASS_WEIGHTS[cls]
+                 for cls in CLASS_WEIGHTS}
+        return sorted(self.active, key=lambda j: (vtime[j.klass], j.seq))
+
+    def _account_drain(self, job: BackgroundJob, drained_s: float) -> None:
+        """Attribute ``drained_s`` of retired debt to the job's class."""
+        self.bg_drained_s += drained_s
+        self.class_drained_s[job.klass] += drained_s
 
     @effects("SPAN_END", "STATE_MUTATE")
     def _retire(self, job: BackgroundJob) -> None:
@@ -438,6 +566,7 @@ class BackgroundPool:
         return n
 
     def _drain_one(self, job: BackgroundJob) -> float:
+        self._account_drain(job, job.debt_s)
         elapsed = self.disk.sync_drain(job.debt_s)
         job.debt_s = 0.0
         self._retire(job)

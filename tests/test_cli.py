@@ -98,3 +98,45 @@ def test_cluster_trace_validates(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "trace schema ok" in out
     assert trace.exists()
+
+
+# ------------------------------------------------------ scheduling flags
+
+def test_scheduling_flags_parse_and_default():
+    args = build_parser().parse_args(["load", "--engine", "leveldb"])
+    assert args.scheduler == "fair"
+    assert args.compaction_selector == "provider"
+    assert args.legacy_gate is False
+    args = build_parser().parse_args(
+        ["load", "--engine", "leveldb", "--scheduler", "legacy",
+         "--compaction-selector", "greedy-largest-debt", "--legacy-gate"])
+    assert args.scheduler == "legacy"
+    assert args.compaction_selector == "greedy-largest-debt"
+    assert args.legacy_gate is True
+
+
+def test_scheduling_flags_reject_unknown():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(
+            ["load", "--engine", "leveldb", "--scheduler", "bogus"])
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(
+            ["load", "--engine", "leveldb", "--compaction-selector", "bogus"])
+
+
+def test_legacy_gate_flag_reaches_engine(capsys):
+    assert main(["load", "--engine", "leveldb", "--records", "2000",
+                 "--legacy-gate"]) == 0
+    capsys.readouterr()
+
+
+def test_selector_flag_reaches_engine(capsys):
+    assert main(["load", "--engine", "leveldb", "--records", "2000",
+                 "--compaction-selector", "oldest-first"]) == 0
+    capsys.readouterr()
+
+
+def test_cluster_accepts_scheduling_flags(capsys):
+    assert main(["cluster", "ycsb", "--shards", "2", "--replicas", "1",
+                 "--records", "1000", "--ops", "50", "--legacy-gate"]) == 0
+    capsys.readouterr()

@@ -169,6 +169,36 @@ def test_admission_control_paces_degraded_shard(rng):
     cluster.close()
 
 
+def test_admission_pause_caps_on_arbitrarily_long_streaks(rng):
+    """Regression: ``2.0 ** (streak - 1)`` overflowed past streak ~1025.
+
+    A shard whose pool keeps giving up for long enough used to crash the
+    router with ``OverflowError``; the exponent is now capped and the
+    delay clamps at ``ADMISSION_MAX_S`` -- while short streaks keep the
+    exact legacy float doubling.
+    """
+    from repro.cluster.router import ADMISSION_BASE_S, ADMISSION_MAX_S
+
+    cluster = tiny_cluster(n_shards=1, n_replicas=1)
+    key = spread_keys(rng, 1)[0]
+    shard = cluster.router.shard_for(key)
+    pool = shard.group.leader.db.runtime.pool
+    for streak in (1, 2, 7):  # small streaks: exact legacy doubling
+        pool.failed_streak = streak
+        before = cluster.clock.now
+        cluster.put(key, VALUE)
+        paused = cluster.clock.now - before
+        expected = min(ADMISSION_BASE_S * (2.0 ** (streak - 1)),
+                       ADMISSION_MAX_S)
+        assert paused >= expected
+    for streak in (1025, 10 ** 6):  # used to raise OverflowError
+        pool.failed_streak = streak
+        before = cluster.clock.now
+        cluster.put(key, VALUE)
+        assert cluster.clock.now - before >= ADMISSION_MAX_S
+    cluster.close()
+
+
 # ------------------------------------------------------- replication, failover
 
 def test_replication_keeps_replicas_sequence_identical(rng):

@@ -1,0 +1,33 @@
+"""Byte-identity proof for ``legacy_gate=True``.
+
+The stability scheduler (fair pump, pluggable selector, token-bucket
+pacing) must be a pure *addition*: with ``legacy_gate=True`` every engine
+reproduces the pre-scheduler behavior bit for bit -- same records, same
+simulated clock, same write amplification, same stall/gate-delay floats
+(compared via ``float.hex``), same job counts.  The golden fixture in
+``tests/data/legacy_gate_golden.json`` was generated on the pre-scheduler
+tree by ``tests/legacy_golden.py``; these tests replay all eleven cases
+(three engines x load/mixed, fault-injected variants included) against it.
+"""
+
+import json
+
+import pytest
+
+from tests.legacy_golden import CASES, GOLDEN_PATH, run_digest
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with GOLDEN_PATH.open() as fh:
+        return json.load(fh)
+
+
+def test_golden_fixture_covers_all_cases(golden):
+    assert sorted(golden) == sorted(CASES)
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_legacy_gate_byte_identical(case, golden):
+    assert run_digest(case) == golden[case], (
+        f"legacy_gate=True diverged from the pre-scheduler tree on {case!r}")

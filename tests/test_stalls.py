@@ -21,17 +21,27 @@ def test_memtable_rotation_stall_recorded():
 
 
 def test_leveldb_l0_slowdown_engages_under_pressure():
-    db = make_tiny_db("leveldb")
+    db = make_tiny_db("leveldb", legacy_gate=True)
     _hammer(db, 4000)
     ev = db.metrics.events
     assert ev.get("slowdown:l0", 0) + ev.get("stall:l0-stop", 0) > 0
 
 
+def test_token_pacing_engages_under_pressure():
+    """The default gate paces the same L0 pressure via the token bucket."""
+    db = make_tiny_db("leveldb")
+    _hammer(db, 4000)
+    ev = db.metrics.events
+    assert ev.get("slowdown:l0", 0) == 0
+    assert ev.get("pace:token-bucket", 0) > 0
+
+
 def test_rocksdb_debt_slowdown_smoother_max_latency():
     """RocksDB's soft gate trades steady delays for fewer giant stalls."""
-    lvl = make_tiny_db("leveldb")
+    lvl = make_tiny_db("leveldb", legacy_gate=True)
     _hammer(lvl, 5000, seed=2)
-    rks = make_tiny_db("rocksdb", pending_compaction_soft_bytes=2048)
+    rks = make_tiny_db("rocksdb", pending_compaction_soft_bytes=2048,
+                       legacy_gate=True)
     _hammer(rks, 5000, seed=2)
     assert rks.metrics.events.get("slowdown:debt", 0) > 0
 
