@@ -10,6 +10,7 @@ DISK_CHARGE      store to ``<disk>.busy_until``; call to a raw
                  ``SimDisk`` costing method (``fg_io``, ``fg_stream``,
                  ``bg_grant``, ``bg_count``, ``sync_drain``, ``_count``)
 NET_CHARGE       ``SimNetwork._enqueue`` (link-horizon reservation)
+OBJSTORE_CHARGE  ``SimObjectStore._enqueue`` (store-channel reservation)
 RNG_DRAW         method call on a ``random.Random`` / numpy Generator
                  receiver; module-global ``random.*`` / ``np.random.*``;
                  unseeded ``Random()`` / ``default_rng()``
@@ -50,6 +51,7 @@ from repro.check.effects.registry import (
     DISK_CHARGE,
     HOST_TIME,
     NET_CHARGE,
+    OBJSTORE_CHARGE,
     RNG_DRAW,
     SPAN_BEGIN,
     SPAN_END,
@@ -70,6 +72,8 @@ _RAW_DEVICE_CLOCK: FrozenSet[str] = frozenset({
 #: recognizable (the network link reservation mutates a dict entry).
 SEED_EFFECTS: Dict[str, FrozenSet[str]] = {
     "repro.cluster.network.SimNetwork._enqueue": frozenset({NET_CHARGE}),
+    "repro.objstore.store.SimObjectStore._enqueue":
+        frozenset({OBJSTORE_CHARGE}),
 }
 
 _SIMDISK = "repro.storage.simdisk.SimDisk"

@@ -22,6 +22,9 @@ CLOCK_ADVANCE = "CLOCK_ADVANCE"
 DISK_CHARGE = "DISK_CHARGE"
 #: The subtree reserves simulated network link time or bytes (SimNetwork).
 NET_CHARGE = "NET_CHARGE"
+#: The subtree reserves simulated object-store channel time or bytes
+#: (SimObjectStore).
+OBJSTORE_CHARGE = "OBJSTORE_CHARGE"
 #: The subtree draws from a random number generator.
 RNG_DRAW = "RNG_DRAW"
 #: The subtree reads the host wall clock (bench harness only).
@@ -36,8 +39,8 @@ STATE_MUTATE = "STATE_MUTATE"
 #: Every effect the lattice tracks (the lattice is the powerset of this,
 #: ordered by inclusion; join is set union).
 ALL_EFFECTS: FrozenSet[str] = frozenset({
-    CLOCK_ADVANCE, DISK_CHARGE, NET_CHARGE, RNG_DRAW, HOST_TIME,
-    SPAN_BEGIN, SPAN_END, STATE_MUTATE,
+    CLOCK_ADVANCE, DISK_CHARGE, NET_CHARGE, OBJSTORE_CHARGE, RNG_DRAW,
+    HOST_TIME, SPAN_BEGIN, SPAN_END, STATE_MUTATE,
 })
 
 #: Effects an ``@observation_only`` function must not have, directly or
@@ -46,7 +49,8 @@ ALL_EFFECTS: FrozenSet[str] = frozenset({
 #: append rows) -- what they must never do is move the clock, charge a
 #: byte, or perturb the RNG stream.
 OBSERVATION_FORBIDDEN: FrozenSet[str] = frozenset({
-    CLOCK_ADVANCE, DISK_CHARGE, NET_CHARGE, RNG_DRAW, HOST_TIME,
+    CLOCK_ADVANCE, DISK_CHARGE, NET_CHARGE, OBJSTORE_CHARGE, RNG_DRAW,
+    HOST_TIME,
 })
 
 F = TypeVar("F", bound=Callable[..., object])
@@ -102,6 +106,7 @@ OBSERVATION_ONLY_PREFIXES: Tuple[str, ...] = (
     "repro.check.diagnostics.",
     "repro.metrics.stalls.",
     "repro.metrics.prom.",
+    "repro.objstore.report.",
 )
 
 #: Registry-declared effect contracts for functions that cannot carry a

@@ -1,6 +1,6 @@
 """The ``python -m repro check`` driver.
 
-Runs the five correctness gates in order and reports one status line each:
+Runs the six correctness gates in order and reports one status line each:
 
 1. **lint** -- the AST determinism lint (:mod:`repro.check.lint`) over
    ``src/repro`` (or explicit paths).
@@ -14,7 +14,11 @@ Runs the five correctness gates in order and reports one status line each:
    (:mod:`repro.cluster.invariants`) checked throughout: shard ranges tile
    the key space exactly, acked writes sit on a quorum, and no file is owned
    by two live replicas after a rebalance.
-5. **effects** -- the whole-program effect-inference pass
+5. **objstore** -- a tiny shared-storage cluster run: follower bootstrap
+   from the shared manifest log (zero leader WAL bytes for the flushed
+   prefix), a leader kill recovered off shared storage, and a time-travel
+   read (``as_of_cut``) checked against a model recorded at that cut.
+6. **effects** -- the whole-program effect-inference pass
    (:mod:`repro.check.effects`): clock purity of observation paths, charged
    I/O, seeded RNG, span balance, declared host-time (REP100...REP105).
 
@@ -39,7 +43,7 @@ from repro.check.typing_gate import run_typing_gate
 
 #: Gate names in execution order (also the --gate vocabulary).
 GATE_NAMES: Tuple[str, ...] = (
-    "lint", "types", "sanitizer", "cluster", "effects")
+    "lint", "types", "sanitizer", "cluster", "objstore", "effects")
 
 
 @dataclass
@@ -210,6 +214,109 @@ def _run_cluster_smoke(args: argparse.Namespace) -> GateOutcome:
     return GateOutcome("cluster", "PASS", detail=detail)
 
 
+def _run_objstore_smoke(args: argparse.Namespace) -> GateOutcome:
+    """Tiny shared-storage cluster run pinning the objstore contracts.
+
+    A 1-shard/2-replica cluster with the simulated object store attached:
+    phase-1 writes are flushed and the model is recorded at the latest
+    manifest cut; a new follower then bootstraps *from shared storage*
+    (asserted: zero bytes on the leader's links for the flushed prefix);
+    phase-2 overwrites land, the leader is killed (recovery re-reads the
+    shared log), and the promoted leader must serve both the live model
+    and a time-travel read (``as_of_cut``) matching the recorded one.
+    """
+    from repro.cluster import ClusterDB, ClusterOptions
+    from repro.cluster.invariants import check_cluster_invariants
+    from repro.common.errors import InvariantViolation
+    from repro.common.options import IamOptions, SSD, StorageOptions
+    from repro.objstore import ObjStoreOptions
+
+    opts = IamOptions(node_capacity=2048, fanout=3, key_size=8,
+                      bloom_bits_per_key=14, retune_interval=2)
+    storage = StorageOptions(device=SSD, page_cache_bytes=16 * 1024,
+                             block_size=256)
+    cluster = ClusterDB(ClusterOptions(
+        n_shards=1, n_replicas=2, engine_options=opts,
+        storage_options=storage, objstore=ObjStoreOptions(),
+        objstore_retain_cuts=64))
+    rng = random.Random(args.seed)
+    keys = [rng.randrange(2 ** 64) for _ in range(160)]
+    model: "dict[int, int]" = {}
+    failures: List[str] = []
+    tt_checks = 0
+    cut_n = 0
+    try:
+        # Phase 1: mixed writes, flushed so the manifest cut covers them.
+        for i in range(300):
+            key = keys[rng.randrange(len(keys))]
+            if rng.random() < 0.85:
+                value = 32 + (i % 64)
+                cluster.put(key, value)
+                model[key] = value
+            else:
+                cluster.delete(key)
+                model.pop(key, None)
+        cluster.flush()
+        cluster.quiesce()
+        model1 = dict(model)
+        log = cluster.manifest_logs[cluster.router.shards[0].shard_id]
+        cut = log.latest_cut()
+        if cut is None:
+            raise InvariantViolation("no manifest cut after flush")
+        cut_n = cut.cut_id
+        # Follower bootstrap from shared storage: the flushed prefix must
+        # cost the leader zero network bytes (objects come from the store).
+        leader_node = cluster.router.shards[0].group.leader.node_id
+        before = sum(v for (src, _dst), v
+                     in cluster.network.link_bytes.items()
+                     if src == leader_node)
+        boot = cluster.spawn_follower(0, mode="objstore")
+        after = sum(v for (src, _dst), v
+                    in cluster.network.link_bytes.items()
+                    if src == leader_node)
+        if boot["wal_tail_records"] != 0 or after != before:
+            raise InvariantViolation(
+                f"objstore bootstrap shipped leader bytes: tail="
+                f"{boot['wal_tail_records']}, link delta {after - before}")
+        if int(boot["objects_fetched"]) <= 0:  # type: ignore[call-overload]
+            raise InvariantViolation("bootstrap fetched no objects")
+        # Phase 2: overwrites, then a leader kill; recovery re-reads the
+        # shared log and the promoted leader serves the acked audit.
+        for i in range(150):
+            key = keys[rng.randrange(len(keys))]
+            value = 128 + (i % 64)
+            cluster.put(key, value)
+            model[key] = value
+        cluster.crash_leader(0)
+        check_cluster_invariants(cluster)
+        for key, want in sorted(model.items()):
+            if cluster.get(key) != want:
+                raise InvariantViolation(
+                    f"post-failover read {key:#x} diverged from model")
+        # Time travel: the retained cut still serves phase-1 values.
+        for key in sorted(model1)[:24]:
+            got = cluster.get(key, as_of_cut=cut_n)
+            if got != model1[key]:
+                raise InvariantViolation(
+                    f"as-of cut {cut_n} read {key:#x}: got {got}, "
+                    f"want {model1[key]}")
+            tt_checks += 1
+        cluster.quiesce()
+        cluster.check_invariants()
+    except InvariantViolation as exc:
+        failures.append(str(exc))
+    summary = cluster.stats().get("objstore", {})
+    n_objects = summary.get("objects", 0) if isinstance(summary, dict) else 0
+    cluster.close()
+    detail = (f"cut {cut_n}, "
+              f"{n_objects} objects, {tt_checks} time-travel reads, "
+              f"{len(cluster.failover_reports)} failover(s)")
+    if failures:
+        return GateOutcome("objstore", "FAIL",
+                           body="\n".join(failures + [detail]))
+    return GateOutcome("objstore", "PASS", detail=detail)
+
+
 def _run_effects(args: argparse.Namespace) -> GateOutcome:
     from repro.check.effects.gate import run_effects_gate, write_report
 
@@ -236,6 +343,7 @@ _GATE_RUNNERS: "dict[str, Callable[[argparse.Namespace], GateOutcome]]" = {
     "types": _run_types,
     "sanitizer": _run_sanitizer_smoke,
     "cluster": _run_cluster_smoke,
+    "objstore": _run_objstore_smoke,
     "effects": _run_effects,
 }
 
@@ -244,7 +352,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro check",
         description=("determinism lint + typing gate + sanitizer smoke run "
-                     "+ cluster smoke run + effect-inference gate"))
+                     "+ cluster smoke run + objstore smoke run "
+                     "+ effect-inference gate"))
     p.add_argument("paths", nargs="*",
                    help="files/directories to lint (default: src/repro)")
     p.add_argument("--list-rules", action="store_true",
@@ -261,6 +370,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--skip-types", action="store_true")
     p.add_argument("--skip-sanitizer", action="store_true")
     p.add_argument("--skip-cluster", action="store_true")
+    p.add_argument("--skip-objstore", action="store_true")
     p.add_argument("--skip-effects", action="store_true")
     p.add_argument("--strict", action="store_true",
                    help="effects gate: baselined findings also FAIL "
@@ -268,7 +378,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--effects-report", metavar="PATH",
                    help="write the effects gate's JSON report to PATH")
     p.add_argument("--seed", type=int, default=0xC0FFEE,
-                   help="seed of the sanitizer and cluster smoke workloads")
+                   help="seed of the sanitizer/cluster/objstore smoke "
+                        "workloads")
     return p
 
 

@@ -7,6 +7,8 @@ Commands
 ``fillseq``      sequential load
 ``ycsb``         run a YCSB workload (A-G) on a freshly loaded store
 ``cluster``      run a workload on a sharded, replicated multi-node cluster
+``objstore``     cluster run against the shared object-store tier
+                 (manifest-log mirroring, follower bootstrap, time travel)
 ``trace``        run a workload with sim-time tracing; export + summarize
 ``compare``      run one load across several engines side by side
 ``experiment``   regenerate a paper table/figure via the bench harness
@@ -42,6 +44,10 @@ Examples
     python -m repro cluster ycsb --shards 4 --replicas 2 --workload A
     python -m repro cluster ycsb --shards 4 --replicas 2 \
         --faults kill=1:2000,rate=0.001,seed=7 --trace cluster.json --validate
+    python -m repro objstore load --records 20000 --store-latency 2000 \
+        --bootstrap-follower 0 --as-of 4
+    python -m repro objstore ycsb --workload B --offload-compaction \
+        --faults kill=0:2500 --trace objstore.json --validate
 """
 
 from __future__ import annotations
@@ -448,6 +454,118 @@ def cmd_cluster(args) -> int:
     return rc
 
 
+def cmd_objstore(args) -> int:
+    """Shared-storage cluster run: every shard mirrors to the object store."""
+    import json
+    from repro.cluster import (
+        ClusterDB,
+        ClusterOptions,
+        NetworkOptions,
+        attach_cluster_trace,
+        parse_cluster_fault_spec,
+    )
+    from repro.common.errors import ConfigError, InvariantViolation
+    from repro.obs import validate_chrome_trace
+    from repro.objstore import ObjStoreOptions
+    from repro.objstore.report import format_objstore_report
+    _apply_sanitize(args)
+    dev = HDD if args.device == "hdd" else SSD
+    storage = StorageOptions(
+        device=dev,
+        page_cache_bytes=max(1, int(args.memory_mb * 1e6 / args.shards)))
+    store_kwargs = {}
+    if args.store_latency_us is not None:
+        store_kwargs["latency_s"] = args.store_latency_us * 1e-6
+    if args.store_bandwidth_mb is not None:
+        store_kwargs["bandwidth"] = args.store_bandwidth_mb * 1e6
+    cluster = ClusterDB(ClusterOptions(
+        n_shards=args.shards, n_replicas=args.replicas, engine=args.engine,
+        engine_options=_engine_options(args.engine, args.threads,
+                                       **_scheduling_kw(args)),
+        storage_options=storage, network=NetworkOptions(),
+        objstore=ObjStoreOptions(**store_kwargs),
+        objstore_retain_cuts=args.retain_cuts,
+        compaction_offload=args.offload_compaction))
+    session = attach_cluster_trace(cluster) if args.trace or args.validate \
+        else None
+    if args.faults:
+        from repro.faults.plan import parse_fault_spec
+        dev_spec, kills = parse_cluster_fault_spec(args.faults)
+        cluster.arm_faults(
+            parse_fault_spec(dev_spec) if dev_spec else None, kills)
+    rep = hash_load(cluster, args.records, quiesce=False)
+    if args.mode == "ycsb":
+        spec = YCSB_WORKLOADS[args.workload.upper()]
+        rep = run_ycsb(cluster, spec, args.ops, args.records,
+                       clients=args.clients)
+    cluster.flush()
+    cluster.quiesce()
+    rc = 0
+    if args.bootstrap_follower is not None:
+        boot = cluster.spawn_follower(args.bootstrap_follower,
+                                      mode="objstore")
+        print(f"follower bootstrap (shard {args.bootstrap_follower}): "
+              f"cut {boot['cut_id']} @ seq {boot['bootstrap_seq']}, "
+              f"{boot['objects_fetched']} objects / "
+              f"{int(boot['store_bytes_down']) / 1e6:.2f} MB "  # type: ignore[call-overload]
+              f"from shared storage, "
+              f"{boot['wal_tail_records']} WAL tail records")
+    try:
+        cluster.check_invariants()
+    except InvariantViolation as exc:
+        print(f"CLUSTER INVARIANT: {exc}", file=sys.stderr)
+        rc = 1
+    stats = cluster.stats()
+    what = (f"YCSB-{args.workload.upper()}" if args.mode == "ycsb"
+            else "hash load")
+    print(f"objstore {what} on {args.engine} x{stats['n_shards']} shards "
+          f"x{args.replicas} replicas ({args.device}): "
+          f"{rep.throughput:,.0f} ops/s over "
+          f"{rep.sim_seconds * 1e3:.2f} sim-ms")
+    print()
+    print(format_objstore_report(stats["objstore"]))
+    net = stats["network"]
+    print(f"network: {net['messages']} messages, "
+          f"{net['bytes_sent'] / 1e6:.2f} MB shipped")
+    if args.as_of is not None:
+        sample = cluster.scan(None, None, limit=8)
+        shown = 0
+        for key, _value in sample:
+            try:
+                got = cluster.get(key, as_of_cut=args.as_of)
+            except ConfigError as exc:
+                print(f"as-of read failed: {exc}", file=sys.stderr)
+                rc = 1
+                break
+            print(f"  as-of cut {args.as_of}: key {key:#018x} -> {got}")
+            shown += 1
+        if not shown and not rc:
+            print(f"  as-of cut {args.as_of}: no keys to sample")
+    for report in stats["failovers"]:
+        print(f"failover: shard {report['shard']} node "
+              f"{report['dead_node']} -> {report['promoted_node']} "
+              f"(acked {report['acked_seq']}, recovered "
+              f"{report['recovered_seq']})")
+    if session is not None:
+        if args.validate:
+            problems = validate_chrome_trace(session.to_chrome())
+            if problems:
+                for p in problems:
+                    print(f"TRACE SCHEMA: {p}", file=sys.stderr)
+                rc = 1
+            else:
+                print("trace schema ok")
+        if args.trace:
+            session.write_chrome(args.trace)
+            print(f"wrote objstore cluster trace to {args.trace}")
+    if args.report:
+        with open(args.report, "w") as fh:
+            fh.write(json.dumps(stats, sort_keys=True, separators=(",", ":")))
+        print(f"wrote objstore report to {args.report}")
+    cluster.close()
+    return rc
+
+
 def cmd_info(args) -> int:
     from repro.bench.scale import RECORD_BYTES, scale_factor
     print(f"REPRO_SCALE = {scale_factor()}")
@@ -636,6 +754,61 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--report", metavar="PATH", default=None,
                     help="write the deterministic JSON cluster report")
     sp.set_defaults(fn=cmd_cluster)
+
+    sp = sub.add_parser(
+        "objstore",
+        help="run a cluster workload against the shared object-store tier")
+    sp.add_argument("mode", choices=("load", "ycsb"),
+                    help="hash-load only, or hash-load then a YCSB phase")
+    sp.add_argument("--shards", type=int, default=2)
+    sp.add_argument("--replicas", type=int, default=2,
+                    help="copies per shard, leader included")
+    sp.add_argument("--workload", choices=list("ABCDEFG") + list("abcdefg"),
+                    default="A", help="YCSB workload for the ycsb mode")
+    sp.add_argument("--ops", type=int, default=3000,
+                    help="YCSB operations after the load phase")
+    sp.add_argument("--clients", type=int, default=1,
+                    help="deterministically interleaved YCSB client streams")
+    sp.add_argument("--engine", choices=ENGINES, default="iam")
+    sp.add_argument("--device", choices=("ssd", "hdd"), default="ssd")
+    sp.add_argument("--records", type=int, default=30_000)
+    sp.add_argument("--memory-mb", type=float,
+                    default=SSD_100G.memory_bytes / 1e6,
+                    help="total cluster memory, split evenly across shards")
+    sp.add_argument("--threads", type=int, default=1)
+    scheduling(sp)
+    sp.add_argument("--store-latency", dest="store_latency_us", type=float,
+                    default=None, metavar="US",
+                    help="per-request object-store latency in microseconds "
+                         "(0 = the byte-identical mirror mode)")
+    sp.add_argument("--store-bandwidth-mb", type=float, default=None,
+                    help="object-store bandwidth in MB/s")
+    sp.add_argument("--retain-cuts", type=int, default=8,
+                    help="manifest cuts retained for time travel before the "
+                         "cleanup compactor truncates dead segments")
+    sp.add_argument("--offload-compaction", action="store_true",
+                    help="drain compaction device time on a shared offload "
+                         "disk instead of each leader's own disk")
+    sp.add_argument("--bootstrap-follower", type=int, default=None,
+                    metavar="SHARD",
+                    help="after the workload, spawn a brand-new follower for "
+                         "this shard index, bootstrapped from shared storage")
+    sp.add_argument("--as-of", dest="as_of", type=int, default=None,
+                    metavar="CUT",
+                    help="after the workload, sample time-travel reads at "
+                         "this manifest cut id")
+    sp.add_argument("--sanitize", action="store_true",
+                    help="attach the runtime sanitizer to every replica")
+    sp.add_argument("--faults", metavar="SPEC", default=None,
+                    help="device faults plus scheduled leader kills, e.g. "
+                         "kill=1:2000,rate=0.001,seed=7")
+    sp.add_argument("--trace", metavar="PATH", default=None,
+                    help="write the merged cluster Chrome trace to PATH")
+    sp.add_argument("--validate", action="store_true",
+                    help="validate the merged Chrome trace schema")
+    sp.add_argument("--report", metavar="PATH", default=None,
+                    help="write the deterministic JSON objstore report")
+    sp.set_defaults(fn=cmd_objstore)
 
     sp = sub.add_parser("info", help="print the scaled configuration")
     sp.set_defaults(fn=cmd_info)

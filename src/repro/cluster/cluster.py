@@ -32,15 +32,19 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 from repro.cluster.network import NetworkOptions, SimNetwork
 from repro.cluster.rebalance import RebalanceOptions, Rebalancer
 from repro.cluster.replica import LeaderKill, Replica, ReplicaGroup
-from repro.cluster.router import Router
+from repro.cluster.router import REQUEST_BYTES, ROUTER_NODE, Router
 from repro.cluster.shard import Shard, even_ranges
 from repro.common.errors import ConfigError, InvariantViolation, StoreClosedError
 from repro.common.options import FaultOptions, StorageOptions
 from repro.common.records import Key, Value
 from repro.db.iamdb import IamDB
 from repro.metrics import MetricsRegistry, StallBreakdown, merge_snapshots
+from repro.objstore.manifestlog import DEFAULT_RETAIN_CUTS, SharedManifestLog
+from repro.objstore.report import objstore_summary
+from repro.objstore.store import ObjStoreOptions, SimObjectStore
+from repro.objstore.tiering import AsOfReader, ObjStoreTier, open_as_of
 from repro.obs.tracer import NULL_TRACER, NullTracer
-from repro.storage.simdisk import SimClock
+from repro.storage.simdisk import SimClock, SimDisk
 from repro.check.effects.registry import observation_only
 
 #: Recently acked writes remembered for the failover audit (per cluster).
@@ -63,12 +67,26 @@ class ClusterOptions:
     storage_options: Optional[StorageOptions] = None
     network: NetworkOptions = field(default_factory=NetworkOptions)
     rebalance: RebalanceOptions = field(default_factory=RebalanceOptions)
+    #: Shared object-store service parameters; None disables the shared
+    #: storage tier (no store, no manifest logs, no tiering).
+    objstore: Optional[ObjStoreOptions] = None
+    #: Manifest cuts retained per shard log (the time-travel window).
+    objstore_retain_cuts: int = DEFAULT_RETAIN_CUTS
+    #: Drain compaction debt on a dedicated shared device (the "dedicated
+    #: compaction node against shared storage" mode); requires ``objstore``.
+    compaction_offload: bool = False
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
             raise ConfigError("n_shards must be >= 1")
         if self.n_replicas < 1:
             raise ConfigError("n_replicas must be >= 1")
+        if self.objstore_retain_cuts < 1:
+            raise ConfigError("objstore_retain_cuts must be >= 1")
+        if self.compaction_offload and self.objstore is None:
+            raise ConfigError(
+                "compaction_offload needs a shared object store "
+                "(set ClusterOptions.objstore)")
 
 
 class _ClusterRuntime:
@@ -110,35 +128,115 @@ class ClusterDB:
         #: Last acked value per recently written key (failover audit window).
         self._acked_audit: "OrderedDict[int, Optional[Value]]" = OrderedDict()
         self.failover_reports: List[Dict[str, object]] = []
+        #: Shared storage tier (None = disabled): one store for the whole
+        #: cluster, one append-only manifest log and one leader-attached
+        #: tier per shard, plus cached time-travel readers per (shard, cut).
+        self.objstore: Optional[SimObjectStore] = None
+        self.manifest_logs: Dict[int, SharedManifestLog] = {}
+        self._tiers: Dict[int, ObjStoreTier] = {}
+        self._as_of_readers: Dict[Tuple[int, int], AsOfReader] = {}
+        self.offload_disk: Optional[SimDisk] = None
+        if self.options.objstore is not None:
+            self.objstore = SimObjectStore(self.clock, self.options.objstore)
+            if self.options.compaction_offload:
+                device = (self.options.storage_options
+                          if self.options.storage_options is not None
+                          else StorageOptions()).device
+                self.offload_disk = SimDisk(device, self.clock)
         shards = [self._make_shard(lo, hi)
                   for lo, hi in even_ranges(self.options.n_shards)]
         self.router = Router(shards, self.network, self.metrics, self.tracer)
         self.rebalancer = Rebalancer(self, self.options.rebalance)
 
     # ------------------------------------------------------------- provisioning
+    def _make_replica(self) -> Replica:
+        """Provision one fresh replica (own disk, shared clock)."""
+        o = self.options
+        node_id = self._next_node_id
+        self._next_node_id += 1
+        db = IamDB(o.engine, engine_options=o.engine_options,
+                   storage_options=o.storage_options, clock=self.clock)
+        if self._fault_options is not None:
+            db.runtime.attach_faults(replace(
+                self._fault_options,
+                seed=self._fault_options.seed + node_id * _FAULT_SEED_SALT))
+        if self._hist_enabled:
+            db.metrics.enable_histograms()
+        return Replica(node_id, db)
+
     def _make_shard(self, lo: int, hi: int) -> Shard:
         """Provision a fresh replica group serving ``[lo, hi)``."""
-        o = self.options
-        replicas: List[Replica] = []
-        for _ in range(o.n_replicas):
-            node_id = self._next_node_id
-            self._next_node_id += 1
-            db = IamDB(o.engine, engine_options=o.engine_options,
-                       storage_options=o.storage_options, clock=self.clock)
-            if self._fault_options is not None:
-                db.runtime.attach_faults(replace(
-                    self._fault_options,
-                    seed=self._fault_options.seed + node_id * _FAULT_SEED_SALT))
-            if self._hist_enabled:
-                db.metrics.enable_histograms()
-            replicas.append(Replica(node_id, db))
+        replicas = [self._make_replica()
+                    for _ in range(self.options.n_replicas)]
         shard_id = self._next_shard_id
         self._next_shard_id += 1
         group = ReplicaGroup(shard_id, replicas, self.network)
         shard = Shard(shard_id, lo, hi, group)
+        if self.objstore is not None:
+            self._attach_tier(shard)
         if self._trace is not None:
             self._trace.on_new_leader(shard)
         return shard
+
+    def _attach_tier(self, shard: Shard) -> ObjStoreTier:
+        """(Re)bind the shard's manifest log + tier to its current leader.
+
+        The shard's log is created on first attach and survives leader
+        changes -- the log *is* the shard's durable metadata.  A previous
+        tier (a dead leader's) is detached so exactly one node mirrors.
+        """
+        if self.objstore is None:
+            raise InvariantViolation("tier attach without an object store")
+        log = self.manifest_logs.get(shard.shard_id)
+        if log is None:
+            log = SharedManifestLog(
+                self.objstore, f"shard{shard.shard_id}/",
+                retain_cuts=self.options.objstore_retain_cuts)
+            self.manifest_logs[shard.shard_id] = log
+        old = self._tiers.get(shard.shard_id)
+        if old is not None:
+            old.detach()
+        leader = shard.group.leader
+        tier = ObjStoreTier(leader.db, log, node_tag=f"n{leader.node_id}")
+        self._tiers[shard.shard_id] = tier
+        if self.offload_disk is not None:
+            leader.db.runtime.pool.offload_disk = self.offload_disk
+        return tier
+
+    def spawn_follower(self, shard_index: int, *,
+                       mode: str = "objstore") -> Dict[str, object]:
+        """Provision a brand-new follower and catch it up to the leader.
+
+        ``mode="objstore"``: bootstrap from shared storage -- replay the
+        shard's manifest log and fetch data objects from the store; the
+        leader then ships only WAL records *newer* than the bootstrap cut
+        (zero leader network bytes for the flushed prefix).
+        ``mode="ship"``: the baseline -- the leader ships its checkpointed
+        state and every live file over the network, then the same WAL tail.
+        Returns the group's deterministic catch-up report.
+        """
+        self._check_open()
+        shards = self.router.shards
+        if not 0 <= shard_index < len(shards):
+            raise ConfigError(
+                f"spawn_follower targets shard {shard_index}, cluster has "
+                f"{len(shards)}")
+        if mode == "objstore" and self.objstore is None:
+            raise ConfigError(
+                "objstore bootstrap needs ClusterOptions.objstore")
+        shard = shards[shard_index]
+        replica = self._make_replica()
+        log = (self.manifest_logs.get(shard.shard_id)
+               if mode == "objstore" else None)
+        report = shard.group.add_follower(replica, mode=mode, log=log)
+        report["shard"] = shard.shard_id
+        self.metrics.bump("follower:spawn")
+        if self.tracer.enabled:
+            self.tracer.instant("cluster", "follower-spawn",
+                                shard=shard.shard_id, mode=mode,
+                                node=replica.node_id)
+        self._pump_all()
+        return report
 
     # ----------------------------------------------------------------- metrics
     def enable_histograms(self) -> None:
@@ -198,6 +296,16 @@ class ClusterDB:
             self.failover_reports.append(report)
             return report
         report = shard.group.kill_leader()
+        if self.objstore is not None:
+            # The promoted leader takes over mirroring under its own node
+            # tag; the log resyncs from store contents (sweeping objects
+            # whose cut never landed) and cached time-travel readers for
+            # this shard are dropped -- their cuts may have been swept.
+            tier = self._attach_tier(shard)
+            report["objstore_recovery"] = tier.recover()
+            self._as_of_readers = {
+                key: reader for key, reader in self._as_of_readers.items()
+                if key[0] != shard.shard_id}
         if self._trace is not None:
             self._trace.on_new_leader(shard)
         audited = 0
@@ -263,10 +371,48 @@ class ClusterDB:
         if self.metrics.hist_enabled:
             self.metrics.observe("put", elapsed)
 
-    def get(self, key: Key) -> Optional[Value]:
+    def get(self, key: Key, *,
+            as_of_cut: Optional[int] = None) -> Optional[Value]:
+        if as_of_cut is not None:
+            return self._get_as_of(key, as_of_cut)
         self._begin_op()
         t0 = self.clock.now
         value = self.router.get(key)
+        self._pump_all()
+        elapsed = self.clock.now - t0
+        self.metrics.record_latency("read", elapsed)
+        if self.metrics.hist_enabled:
+            self.metrics.observe("get", elapsed)
+        return value
+
+    def _get_as_of(self, key: Key, cut_id: int) -> Optional[Value]:
+        """Time-travel read: the key's value as of a retained manifest cut.
+
+        Routes like a normal get, then answers from an
+        :class:`~repro.objstore.tiering.AsOfReader` over the owning shard's
+        manifest log -- the historical tree is restored once per (shard,
+        cut) and its page-cache misses fill from the object store at store
+        latency.
+        """
+        if self.objstore is None:
+            raise ConfigError(
+                "as_of_cut reads need ClusterOptions.objstore")
+        self._begin_op()
+        t0 = self.clock.now
+        shard = self.router.shard_for(key)
+        self.network.rpc(ROUTER_NODE, shard.group.leader.node_id,
+                         REQUEST_BYTES)
+        cache_key = (shard.shard_id, cut_id)
+        reader = self._as_of_readers.get(cache_key)
+        if reader is None:
+            log = self.manifest_logs[shard.shard_id]
+            reader = open_as_of(
+                log, cut_id, engine=self.options.engine,
+                engine_options=self.options.engine_options,
+                storage_options=self.options.storage_options,
+                clock=self.clock, metrics=MetricsRegistry())
+            self._as_of_readers[cache_key] = reader
+        value = reader.get(key)
         self._pump_all()
         elapsed = self.clock.now - t0
         self.metrics.record_latency("read", elapsed)
@@ -414,6 +560,15 @@ class ClusterDB:
         extra: Dict[str, object] = {}
         if self.metrics.hist_enabled:
             extra["latency_percentiles"] = self.metrics.hist_percentiles()
+        if self.objstore is not None:
+            summary = objstore_summary(
+                self.objstore.snapshot(),
+                [self.manifest_logs[sid].snapshot()
+                 for sid in sorted(self.manifest_logs)])
+            summary["compaction_offload"] = self.offload_disk is not None
+            if self.offload_disk is not None:
+                summary["offload_busy_until_s"] = self.offload_disk.busy_until
+            extra["objstore"] = summary
         return {
             **extra,
             "stall_breakdown": blame.as_dict(sim_seconds=self.clock.now),

@@ -1,6 +1,6 @@
 """Cluster-level structural invariants (the ``repro check`` cluster gate).
 
-Three contracts, checked observation-only (no simulated I/O is charged, so
+Four contracts, checked observation-only (no simulated I/O is charged, so
 a check never perturbs the run it validates):
 
 1. **Partition exactness** -- the router's shard ranges are sorted,
@@ -15,6 +15,10 @@ a check never perturbs the run it validates):
    only files that exist on its own disk, and no two live replicas share a
    storage stack: after a rebalance, a moved MSTable file belongs to
    exactly one shard.
+4. **Manifest-log integrity** (shared-storage clusters) -- every shard's
+   manifest log is structurally healthy: cut ids strictly ascend, every
+   retained cut's entry object exists in the store, and every data object
+   a retained cut references exists (whole entries, no dangling refs).
 """
 
 from __future__ import annotations
@@ -92,8 +96,19 @@ def check_file_ownership(cluster: "ClusterDB") -> None:
                         f"references file {file_id} not on its disk")
 
 
+def check_manifest_logs(cluster: "ClusterDB") -> None:
+    """Every shard's shared manifest log is structurally healthy."""
+    for shard_id in sorted(cluster.manifest_logs):
+        problems = cluster.manifest_logs[shard_id].verify()
+        if problems:
+            raise InvariantViolation(
+                f"shard {shard_id} manifest log unhealthy: "
+                f"{'; '.join(problems)}")
+
+
 def check_cluster_invariants(cluster: "ClusterDB") -> None:
     """Run the full cluster invariant catalog (raises on first violation)."""
     check_partition(cluster)
     check_replication(cluster)
     check_file_ownership(cluster)
+    check_manifest_logs(cluster)

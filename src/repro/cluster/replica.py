@@ -27,13 +27,26 @@ sequence can never fall below ``acked_seq``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.common.errors import ConfigError, InvariantViolation
-from repro.common.records import Key, Value, encoded_size, make_put
+from repro.common.records import (
+    DELETE,
+    KEY,
+    KIND,
+    Key,
+    SEQ,
+    VALUE,
+    Value,
+    encoded_size,
+    make_put,
+)
 from repro.db.iamdb import IamDB, SnapshotLike
 from repro.faults.crash import CrashSpec
 from repro.cluster.network import SimNetwork
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.objstore.manifestlog import SharedManifestLog
 
 
 @dataclass(frozen=True)
@@ -155,6 +168,80 @@ class ReplicaGroup:
 
     def delete(self, key: Key) -> None:
         self._replicate("delete", key, value=0)
+
+    # -------------------------------------------------------------- follower add
+    def add_follower(self, replica: Replica, *, mode: str = "objstore",
+                     log: Optional["SharedManifestLog"] = None,
+                     ) -> Dict[str, object]:
+        """Attach a brand-new follower, caught up before it joins the group.
+
+        ``mode="objstore"``: the follower bootstraps itself from the shard's
+        shared manifest log -- entry replay plus data-object fetches charged
+        to the *follower's* runtime; zero leader network bytes for the
+        flushed prefix.  ``mode="ship"``: the pre-shared-storage baseline --
+        the leader ships its checkpointed state and every live file's bytes
+        over its own network link.  Both modes then ship the leader's WAL
+        tail (records newer than the bootstrap cut), applied through the
+        follower's full write path so sequence numbers line up exactly.
+        """
+        leader = self.leader
+        report: Dict[str, object]
+        if mode == "objstore":
+            if log is None:
+                raise ConfigError("objstore follower mode needs the shard's "
+                                  "manifest log")
+            from repro.objstore.tiering import bootstrap_from_store
+            boot = bootstrap_from_store(replica.db, log)
+            base_seq = int(boot["seq"])
+            report = {"mode": mode, "cut_id": boot["cut_id"],
+                      "bootstrap_seq": base_seq,
+                      "objects_fetched": boot["objects"],
+                      "store_bytes_down": boot["bytes_down"]}
+        elif mode == "ship":
+            base_seq = 0
+            shipped_bytes = 0
+            state = leader.db.manifest.restore()
+            if state is not None:
+                disk = leader.db.runtime.disk
+                for fid in sorted(leader.db.engine.live_file_ids()):
+                    f = disk.files.get(fid)
+                    if f is not None:
+                        self.network.send(leader.node_id, replica.node_id,
+                                          f.nbytes)
+                        shipped_bytes += f.nbytes
+                replica.db.engine.restore_state(state["engine"])
+                replica.db.manifest.checkpoint(state)
+                replica.db.manifest.edits += 1
+                replica.db._seq = int(state["seq"])
+                base_seq = int(state["seq"])
+            report = {"mode": mode, "bootstrap_seq": base_seq,
+                      "shipped_bytes": shipped_bytes}
+        else:
+            raise ConfigError(f"unknown follower mode {mode!r}")
+        # Catch-up: only WAL records newer than the bootstrap cut cross the
+        # leader's link (the WAL suffix is contiguous from the flushed
+        # prefix, so applied seqs line up with the leader's).
+        tail = 0
+        for rec in leader.db.wal.replay():
+            if rec[SEQ] <= base_seq:
+                continue
+            rec_bytes = encoded_size(rec, self.key_size)
+            self.network.send(leader.node_id, replica.node_id, rec_bytes)
+            if rec[KIND] == DELETE:
+                replica.db.delete(rec[KEY])
+            else:
+                replica.db.put(rec[KEY], rec[VALUE])
+            self.network.send(replica.node_id, leader.node_id, 0)
+            tail += 1
+        if replica.db._seq != leader.db._seq:
+            raise InvariantViolation(
+                f"shard {self.shard_id}: new follower caught up to seq "
+                f"{replica.db._seq}, leader at {leader.db._seq}")
+        self.replicas.append(replica)
+        report["wal_tail_records"] = tail
+        report["follower_node"] = replica.node_id
+        report["seq"] = replica.db._seq
+        return report
 
     # ------------------------------------------------------------------ reads
     def get(self, key: Key, snapshot: SnapshotLike = None) -> Optional[Value]:

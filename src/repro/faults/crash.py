@@ -40,6 +40,9 @@ CRASH_SITES: Tuple[str, ...] = (
     "mid-combine",        # lsa: victim merged down, not yet removed above
     "pre-checkpoint",     # flush durable, manifest not yet checkpointed
     "post-checkpoint",    # manifest checkpointed, WAL not yet truncated
+    "pre-objstore-log",     # objects uploaded, manifest-log cut not appended
+    "post-objstore-log",    # manifest-log cut appended, cleanup not yet run
+    "mid-objstore-cleanup",  # dead segments picked, deletes not yet issued
 )
 
 

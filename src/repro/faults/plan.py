@@ -29,9 +29,10 @@ from repro.common.options import ConfigError, FaultOptions
 from repro.check.effects.registry import effects
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.objstore.store import SimObjectStore
     from repro.storage.background import BackgroundJob
     from repro.storage.runtime import Runtime
-    from repro.storage.simdisk import SimDisk
+    from repro.storage.simdisk import SimClock, SimDisk
 
 #: Retry attempts per single logical I/O before declaring the plan broken;
 #: far above anything a rate < 1 plan can produce (backoff escapes time
@@ -95,13 +96,27 @@ class FaultInjector:
         caller's request then proceeds normally, so injected faults surface
         purely as added latency (plus trace/metric events).
         """
+        self._foreground_retry(disk.clock)
+
+    @effects("CLOCK_ADVANCE", "STATE_MUTATE")
+    def on_objstore_request(self, store: "SimObjectStore") -> None:
+        """Same retry loop in front of every foreground object-store request.
+
+        Transient store faults (throttling, 5xx) share the plan's single
+        attempt stream with device I/O, so a run's fault sequence stays a
+        pure function of (options, workload).
+        """
+        self._foreground_retry(store.clock)
+
+    @effects("CLOCK_ADVANCE", "STATE_MUTATE")
+    def _foreground_retry(self, clock: "SimClock") -> None:
         if not self.options.enabled:
             return
         o = self.options
         attempt = 0
         while True:
             try:
-                self.plan.check(disk.clock.now)
+                self.plan.check(clock.now)
                 return
             except TransientIOError:
                 attempt += 1
@@ -122,7 +137,7 @@ class FaultInjector:
                     # at the give-up pace instead of failing the user write.
                     backoff = o.giveup_backoff_s
                     self.runtime.metrics.bump("fault:fg-giveup")
-                disk.clock.advance(backoff)
+                clock.advance(backoff)
 
     # ------------------------------------------------------------- background
     def job_attempt_fails(self, job: "BackgroundJob") -> bool:

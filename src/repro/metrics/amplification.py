@@ -58,6 +58,11 @@ class MetricsRegistry:
         self.bloom_probes = 0
         #: Bloom probes that rejected the key (sequence skipped, no I/O).
         self.bloom_negatives = 0
+        #: Bytes uploaded to the shared object store (mirroring).
+        self.objstore_bytes_up = 0
+        #: Bytes downloaded from the shared object store (bootstrap, tiered
+        #: reads, time travel).
+        self.objstore_bytes_down = 0
         #: Event counters: splits, combines, merges, appends, moves, stalls...
         self.events: Dict[str, int] = defaultdict(int)
         #: Latency recorder per operation type ("insert", "read", "scan"...).
@@ -96,6 +101,13 @@ class MetricsRegistry:
     def add_bloom_probes(self, probes: int, negatives: int) -> None:
         self.bloom_probes += probes
         self.bloom_negatives += negatives
+
+    # ----------------------------------------------------------- object store
+    def add_objstore_up(self, nbytes: int) -> None:
+        self.objstore_bytes_up += nbytes
+
+    def add_objstore_down(self, nbytes: int) -> None:
+        self.objstore_bytes_down += nbytes
 
     def bump(self, event: str, n: int = 1) -> None:
         self.events[event] += n
@@ -250,6 +262,8 @@ class MetricsRegistry:
             "cache_misses": self.cache_misses,
             "bloom_probes": self.bloom_probes,
             "bloom_negatives": self.bloom_negatives,
+            "objstore_bytes_up": self.objstore_bytes_up,
+            "objstore_bytes_down": self.objstore_bytes_down,
             "events": dict(self.events),
             "op_counts": {op: rec.count for op, rec in self.latency.items()},
             "stalls": {reason: (st.count, st.total_s, st.max_s)
@@ -286,6 +300,8 @@ class MetricsRegistry:
         self.cache_misses = 0
         self.bloom_probes = 0
         self.bloom_negatives = 0
+        self.objstore_bytes_up = 0
+        self.objstore_bytes_down = 0
         self.events.clear()
         self.latency.clear()
         self.stalls.clear()
@@ -307,7 +323,8 @@ def merge_snapshots(snapshots: "Iterable[Dict[str, object]]") -> Dict[str, objec
     """
     scalar_keys = ("user_bytes", "wal_bytes", "compaction_read_bytes",
                    "query_seeks", "cache_hits", "cache_misses",
-                   "bloom_probes", "bloom_negatives")
+                   "bloom_probes", "bloom_negatives",
+                   "objstore_bytes_up", "objstore_bytes_down")
     merged: Dict[str, object] = {key: 0 for key in scalar_keys}
     level_writes: Dict[int, int] = {}
     events: Dict[str, int] = {}

@@ -36,6 +36,8 @@ _SCALAR_COUNTERS: Tuple[Tuple[str, str], ...] = (
     ("cache_misses", "Query block reads that missed the page cache."),
     ("bloom_probes", "Bloom filter membership probes."),
     ("bloom_negatives", "Bloom probes that skipped a sequence."),
+    ("objstore_bytes_up", "Bytes uploaded to the shared object store."),
+    ("objstore_bytes_down", "Bytes fetched from the shared object store."),
 )
 
 

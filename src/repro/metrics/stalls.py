@@ -20,6 +20,9 @@ ate my throughput?" without a per-reason legend:
 * ``pool-queue``  -- waiting for a specific background job to drain
   ("wait:<job>").
 * ``network``     -- cluster router admission and link pacing.
+* ``objstore``    -- queued behind the shared object store's request
+  channel ("objstore-append" for durable log/object uploads,
+  "objstore-fetch" for bootstrap gets and cache fills).
 * ``other``       -- any reason the map does not recognize (kept visible,
   never silently dropped).  Structured prefixes ("wait:", "pace:",
   "slowdown:") always land in their named class, so new emit sites that
@@ -39,7 +42,7 @@ if TYPE_CHECKING:  # no runtime import: amplification imports this module
 #: The fixed blame classes, in report order.
 STALL_CLASSES: Tuple[str, ...] = (
     "write-gate", "pacing", "flush-wait", "l0-stop", "pool-queue", "network",
-    "other",
+    "objstore", "other",
 )
 
 #: (count, total_s, max_s) -- the wire form of one reason's aggregate.
@@ -54,6 +57,8 @@ def classify_stall_reason(reason: str) -> str:
         return "l0-stop"
     if reason in ("router-admission", "net-link"):
         return "network"
+    if reason.startswith("objstore"):
+        return "objstore"
     if reason.startswith("wait:"):
         return "pool-queue"
     if reason.startswith("pace:"):

@@ -1,0 +1,22 @@
+"""Shared-storage tier: a simulated object store + log of manifests.
+
+See :mod:`repro.objstore.store` (the store), :mod:`repro.objstore.manifestlog`
+(IceDB-style append-only manifest log) and :mod:`repro.objstore.tiering`
+(checkpoint mirroring, follower bootstrap, time travel).
+"""
+
+from repro.objstore.manifestlog import ManifestCut, SharedManifestLog
+from repro.objstore.store import ObjStoreOptions, SimObjectStore
+from repro.objstore.tiering import (AsOfReader, ObjStoreTier,
+                                    bootstrap_from_store, open_as_of)
+
+__all__ = [
+    "AsOfReader",
+    "ManifestCut",
+    "ObjStoreOptions",
+    "ObjStoreTier",
+    "SharedManifestLog",
+    "SimObjectStore",
+    "bootstrap_from_store",
+    "open_as_of",
+]

@@ -1,0 +1,232 @@
+"""Append-only log of manifest cuts on the shared object store.
+
+Reproduces IceDB's log-of-manifests design (SNIPPETS.md §1): instead of a
+mutable MANIFEST file, the durable metadata is an append-only sequence of
+immutable **log entry objects**, one per checkpoint cut.  Each entry
+models an NDJSON segment with a metadata header, a schema line, one file
+marker per live data object, and one tombstone line per object version
+the cut supersedes.  Readers (follower bootstrap, time travel) list the
+log prefix and replay entries; writers never coordinate -- an entry is
+durable iff its object exists.
+
+Because every entry is a single immutable object written with one
+synchronous put, **torn log tails snap to whole entries by construction**:
+a crash mid-append leaves either the previous log (entry object absent)
+or the full new entry -- never a half-parsed line.  Data objects uploaded
+for a cut that never landed are unreferenced and swept by
+:meth:`SharedManifestLog.recover`.
+
+Garbage collection is reachability-based and therefore recomputable after
+any crash: an object (log segment or data object) is dead when no *live*
+cut references it.  The tombstone-cleanup compactor
+(:meth:`SharedManifestLog.cleanup`, driven by
+:class:`~repro.objstore.tiering.ObjStoreTier`) deletes dead objects with
+background requests on the store's own channel -- deliberately *not* via
+the shared :class:`~repro.storage.background.BackgroundPool`, whose job
+activation fires crash points and reorders provider consultation; store
+housekeeping must not perturb the local engine's schedule.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from repro.objstore.store import SimObjectStore
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.runtime import Runtime
+
+#: Modeled size of one entry's metadata header line (cut id, seq, counts).
+CUT_HEADER_BYTES = 96
+#: Modeled size of the schema line (IceDB entries carry the table schema).
+SCHEMA_BYTES = 48
+#: Modeled size of one live-file marker line (name, size, level hints).
+FILE_MARKER_BYTES = 72
+#: Modeled size of one tombstone line (superseded object version).
+TOMBSTONE_BYTES = 40
+
+#: Default number of recent cuts retained for time travel; older cuts
+#: become dead log segments for the cleanup compactor.
+DEFAULT_RETAIN_CUTS = 8
+
+
+class ManifestCut:
+    """One durable checkpoint cut: a whole log entry, never partial."""
+
+    __slots__ = ("cut_id", "seq", "state", "files", "tombstones",
+                 "log_object", "entry_bytes")
+
+    def __init__(self, cut_id: int, seq: int, state: Any,
+                 files: Tuple[str, ...], tombstones: Tuple[str, ...],
+                 log_object: str, entry_bytes: int) -> None:
+        self.cut_id = cut_id
+        #: Sequence number the cut covers (flushed-through seq).
+        self.seq = seq
+        #: The owned pure-data engine checkpoint (``{"engine":..., "seq":...}``,
+        #: exactly what :class:`~repro.storage.manifest.Manifest` stores).
+        self.state = state
+        #: Names of the data objects holding the cut's live files.
+        self.files = files
+        #: Object versions this cut superseded (informational; GC is
+        #: reachability-based, see module docstring).
+        self.tombstones = tombstones
+        #: Name of the log entry object carrying this cut.
+        self.log_object = log_object
+        self.entry_bytes = entry_bytes
+
+
+def entry_bytes(n_files: int, n_tombstones: int) -> int:
+    """Modeled encoded size of one log entry."""
+    return (CUT_HEADER_BYTES + SCHEMA_BYTES + n_files * FILE_MARKER_BYTES
+            + n_tombstones * TOMBSTONE_BYTES)
+
+
+class SharedManifestLog:
+    """Append-only manifest log under one store prefix (one shard)."""
+
+    def __init__(self, store: SimObjectStore, prefix: str, *,
+                 retain_cuts: int = DEFAULT_RETAIN_CUTS) -> None:
+        self.store = store
+        self.prefix = prefix
+        self.retain_cuts = retain_cuts
+        #: Live cuts, ascending cut id (the retained time-travel window).
+        self._cuts: List[ManifestCut] = []
+        #: Durable entry payloads by log object name -- the decoded contents
+        #: of every log object still in the store (live *and* dead segments;
+        #: a dead segment's payload is dropped once its object is deleted).
+        self._segments: Dict[str, ManifestCut] = {}
+        self._next_cut_id = 1
+
+    # ----------------------------------------------------------------- append
+    def append_cut(self, runtime: "Runtime", *, seq: int, state: Any,
+                   files: Tuple[str, ...],
+                   tombstones: Tuple[str, ...]) -> ManifestCut:
+        """Append one whole cut entry with a synchronous foreground put.
+
+        Durable when this returns; a crash before the put leaves the log
+        exactly at the previous cut.  Cuts pushed out of the retention
+        window stay in the store as dead segments until :meth:`cleanup`.
+        """
+        cut_id = self._next_cut_id
+        self._next_cut_id += 1
+        name = f"{self.prefix}log/{cut_id:08d}"
+        nbytes = entry_bytes(len(files), len(tombstones))
+        runtime.objstore_put(name, nbytes)
+        cut = ManifestCut(cut_id, seq, state, files, tombstones, name, nbytes)
+        self._segments[name] = cut
+        self._cuts.append(cut)
+        while len(self._cuts) > self.retain_cuts:
+            self._cuts.pop(0)
+        return cut
+
+    # ----------------------------------------------------------------- lookup
+    @property
+    def cuts(self) -> List[ManifestCut]:
+        """Live (retained) cuts, ascending cut id; do not mutate."""
+        return self._cuts
+
+    def latest_cut(self) -> Optional[ManifestCut]:
+        return self._cuts[-1] if self._cuts else None
+
+    def cut(self, cut_id: int) -> Optional[ManifestCut]:
+        """The retained cut with exactly ``cut_id``, or None."""
+        for c in self._cuts:
+            if c.cut_id == cut_id:
+                return c
+        return None
+
+    # --------------------------------------------------------------- cleanup
+    def gc_candidates(self) -> List[str]:
+        """Objects no live cut references (dead segments + stale versions).
+
+        Recomputed from reachability every time, so the set is correct
+        after any crash: an object is garbage iff it is known to the log
+        (a segment, or referenced by one) but unreachable from the
+        retained cuts.
+        """
+        keep = {c.log_object for c in self._cuts}
+        for c in self._cuts:
+            keep.update(c.files)
+        known = set()
+        for cut in self._segments.values():
+            known.add(cut.log_object)
+            known.update(cut.files)
+        return sorted(n for n in known - keep if self.store.exists(n))
+
+    def cleanup(self, runtime: "Runtime") -> int:
+        """Delete dead objects with background requests; returns the count.
+
+        Requests reserve the store's FIFO channel without moving the clock
+        (the compactor runs behind foreground traffic); entry payloads of
+        deleted segments are forgotten, which is what *truncating* a dead
+        log segment means in this model.
+        """
+        victims = self.gc_candidates()
+        for name in victims:
+            runtime.objstore_reserve_delete(name)
+        if victims:
+            live = {c.log_object for c in self._cuts}
+            self._segments = {n: c for n, c in self._segments.items()
+                              if n in live}
+        return len(victims)
+
+    # --------------------------------------------------------------- recovery
+    def recover(self, runtime: "Runtime") -> Dict[str, int]:
+        """Rebuild the live cut list from store contents; sweep orphans.
+
+        The store survives a node crash (it is a separate service), so the
+        authoritative state is whatever objects exist: present log
+        segments become the cut list (whole entries by construction), and
+        objects referenced by *no* present segment -- data uploaded for a
+        cut whose entry never landed -- are swept with foreground deletes.
+        """
+        listed = runtime.objstore_list(self.prefix)
+        present = set(listed)
+        segs = sorted((c for n, c in self._segments.items() if n in present),
+                      key=lambda c: c.cut_id)
+        self._segments = {c.log_object: c for c in segs}
+        self._cuts = list(segs)
+        while len(self._cuts) > self.retain_cuts:
+            self._cuts.pop(0)
+        keep = set(self._segments)
+        for c in segs:
+            keep.update(c.files)
+        orphans = [n for n in listed if n not in keep]
+        for name in orphans:
+            runtime.objstore_delete(name)
+        return {"cuts": len(self._cuts), "orphans_swept": len(orphans)}
+
+    # ------------------------------------------------------------- inspection
+    def verify(self) -> List[str]:
+        """Structural problems (empty list = healthy), for invariant sweeps.
+
+        Checks the whole-entry property observable after any crash: cut
+        ids strictly ascend, every retained cut's entry object exists, and
+        every data object a retained cut references exists in the store.
+        """
+        problems: List[str] = []
+        prev_id = 0
+        for c in self._cuts:
+            if c.cut_id <= prev_id:
+                problems.append(
+                    f"cut ids not ascending: {c.cut_id} after {prev_id}")
+            prev_id = c.cut_id
+            if not self.store.exists(c.log_object):
+                problems.append(f"live cut {c.cut_id} entry object missing: "
+                                f"{c.log_object}")
+            for name in c.files:
+                if not self.store.exists(name):
+                    problems.append(
+                        f"cut {c.cut_id} references missing object {name}")
+        return problems
+
+    def snapshot(self) -> Dict[str, object]:
+        """Deterministic summary for reports."""
+        latest = self.latest_cut()
+        return {
+            "prefix": self.prefix,
+            "cuts": len(self._cuts),
+            "segments": len(self._segments),
+            "latest_cut_id": latest.cut_id if latest is not None else 0,
+            "latest_seq": latest.seq if latest is not None else 0,
+        }

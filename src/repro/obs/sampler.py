@@ -52,6 +52,10 @@ class TimeseriesSampler:
         self._last_reads = self._read_count(db.metrics.snapshot())
         self._last_bloom_probes = db.metrics.bloom_probes
         self._last_bloom_negatives = db.metrics.bloom_negatives
+        self._last_objstore_up = db.metrics.objstore_bytes_up
+        self._last_objstore_down = db.metrics.objstore_bytes_down
+        self._last_objstore_requests = self._objstore_requests(
+            db.metrics.snapshot())
         #: Per-op-class histogram snapshots at the last sample (windowed
         #: percentile timelines; empty while histograms are disabled).
         self._last_hist: Dict[str, Dict[str, object]] = {}
@@ -98,6 +102,16 @@ class TimeseriesSampler:
     def _read_count(snapshot: Dict[str, object]) -> int:
         counts = snapshot["op_counts"]
         return int(counts.get("read", 0))  # type: ignore[union-attr]
+
+    @staticmethod
+    def _objstore_requests(snapshot: Dict[str, object]) -> int:
+        """Total object-store requests (every ``objstore:*`` event)."""
+        events = snapshot["events"]
+        total = 0
+        for name, n in events.items():  # type: ignore[union-attr]
+            if str(name).startswith("objstore:"):
+                total += int(n)
+        return total
 
     # --------------------------------------------------------------- sampling
     def _sequence_shape(self) -> Dict[str, int]:
@@ -167,6 +181,16 @@ class TimeseriesSampler:
             "point_lookup_rate": (dreads / window_s) if window_s > 0.0 else 0.0,
             "blocks_per_read_window": ((dh + dm) / dreads) if dreads > 0 else 0.0,
             "bloom_negative_rate_window": (dbn / dbp) if dbp > 0 else 0.0,
+            # Shared-storage telemetry (windowed): tiering upload/fetch
+            # traffic and the request count against the object store.
+            "objstore_bytes_up": metrics.objstore_bytes_up,
+            "objstore_bytes_down": metrics.objstore_bytes_down,
+            "objstore_bytes_up_window":
+                metrics.objstore_bytes_up - self._last_objstore_up,
+            "objstore_bytes_down_window":
+                metrics.objstore_bytes_down - self._last_objstore_down,
+            "objstore_requests_window":
+                self._objstore_requests(snap) - self._last_objstore_requests,
         }
         # Stall attribution: cumulative blamed seconds per class (hard
         # stalls + soft gate delays; see repro.metrics.stalls).
@@ -196,6 +220,9 @@ class TimeseriesSampler:
         self._last_reads = reads
         self._last_bloom_probes = bp
         self._last_bloom_negatives = bn
+        self._last_objstore_up = metrics.objstore_bytes_up
+        self._last_objstore_down = metrics.objstore_bytes_down
+        self._last_objstore_requests = self._objstore_requests(snap)
         # Advance the grid strictly past "now" (a stall may jump several
         # intervals; one row represents the whole jump).
         step = self.interval_s

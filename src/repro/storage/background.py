@@ -49,6 +49,14 @@ Two schedulers drain active-job debt (``scheduler`` attribute):
 The pool also keeps a cumulative retired-debt counter (``bg_drained_s``)
 that the engines' token-bucket pacers read to estimate the sustainable
 ingest rate (see :mod:`repro.storage.pacing`).
+
+**Compaction offload** (shared-storage clusters): when ``offload_disk``
+is set, compaction-class jobs drain their device debt against that disk
+instead of the node's own -- the merge runs on a dedicated compaction
+node against shared storage, so local device idle stays available for
+flushes and queries.  Flushes always stay local (they persist the only
+copy of the memtable).  With ``offload_disk`` left ``None`` every code
+path is byte-identical to the pre-offload pool.
 """
 
 from __future__ import annotations
@@ -169,6 +177,17 @@ class BackgroundPool:
         #: Drained device seconds per fair-share class (monotonic).
         self.class_drained_s = {"flush": 0.0, "compaction": 0.0}
         self._next_seq = 1
+        #: Optional dedicated device for compaction-class debt (the
+        #: shared-storage "compaction offload" mode); None = all debt
+        #: drains on the node's own disk, byte-identical to the
+        #: pre-offload pool.
+        self.offload_disk: Optional[SimDisk] = None
+
+    def _drain_disk(self, job: BackgroundJob) -> SimDisk:
+        """The device one job's debt drains against (offload aware)."""
+        if self.offload_disk is not None and not job.high_priority:
+            return self.offload_disk
+        return self.disk
 
     def set_provider(self, provider: Optional[Provider]) -> None:
         """Register the engine's compaction-picking callback."""
@@ -235,7 +254,7 @@ class BackgroundPool:
         job.state = ACTIVE
         job.seq = self._next_seq
         self._next_seq += 1
-        job.not_before = max(self.disk.busy_until, 0.0)
+        job.not_before = max(self._drain_disk(job).busy_until, 0.0)
         job.debt_s = job.start_fn()
         if job.debt_s < 0:
             raise InvariantViolation(f"job {job.name} returned negative debt")
@@ -377,7 +396,6 @@ class BackgroundPool:
         if self.scheduler == "legacy":
             self._pump_legacy()
             return
-        disk = self.disk
         while True:
             self._fill_threads()
             if not self.active:
@@ -387,6 +405,7 @@ class BackgroundPool:
             for job in self._fair_order():
                 if job.state != ACTIVE:
                     continue
+                disk = self._drain_disk(job)
                 ask = min(job.debt_s, FAIR_QUANTUM_S) if contested else job.debt_s
                 granted = disk.bg_grant(job.not_before, ask, self.lookahead_s)
                 if granted > 0.0:
@@ -402,13 +421,13 @@ class BackgroundPool:
 
     def _pump_legacy(self) -> None:
         """The original pure round-robin pump (legacy_gate byte identity)."""
-        disk = self.disk
         while True:
             self._fill_threads()
             if not self.active:
                 return
             progressed = False
             for job in list(self.active):
+                disk = self._drain_disk(job)
                 granted = disk.bg_grant(job.not_before, job.debt_s, self.lookahead_s)
                 if granted > 0.0:
                     progressed = True
@@ -567,7 +586,8 @@ class BackgroundPool:
 
     def _drain_one(self, job: BackgroundJob) -> float:
         self._account_drain(job, job.debt_s)
-        elapsed = self.disk.sync_drain(job.debt_s)
+        disk = self._drain_disk(job)
+        elapsed = disk.sync_drain(job.debt_s)
         job.debt_s = 0.0
         self._retire(job)
         return elapsed

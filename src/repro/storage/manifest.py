@@ -25,6 +25,11 @@ class Manifest:
         self._file = runtime.create_file()
         self._checkpoint: Optional[Any] = None
         self.edits = 0
+        #: Optional durable mirror (an ``ObjStoreTier``): when set, every
+        #: checkpoint is also appended to the shared manifest log.  Duck
+        #: typed -- anything with ``on_checkpoint(state)`` -- so the
+        #: storage layer stays import-free of :mod:`repro.objstore`.
+        self.mirror: Optional[Any] = None
 
     def log_edit(self) -> float:
         """Charge one metadata edit; returns the foreground latency."""
@@ -42,8 +47,14 @@ class Manifest:
         should not know about.  Engines honour this by returning pure-data
         snapshots from ``checkpoint_state()`` (tuples of block metadata, not
         node/table objects); ``tests/test_wal_manifest.py`` pins it down.
+
+        With a :attr:`mirror` attached the same owned state is appended to
+        the shared manifest log (sharing the reference is safe for the
+        same reason storing it verbatim is).
         """
         self._checkpoint = state
+        if self.mirror is not None:
+            self.mirror.on_checkpoint(state)
 
     def restore(self) -> Optional[Any]:
         """The last checkpointed structure (None before the first one)."""

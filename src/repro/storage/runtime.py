@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Tuple
 
+from repro.common.errors import ConfigError
 from repro.common.options import StorageOptions
 from repro.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, NullTracer
@@ -28,8 +29,13 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.common.options import FaultOptions
     from repro.faults.crash import CrashPoints
     from repro.faults.plan import FaultInjector
+    from repro.objstore.store import SimObjectStore
     from repro.obs.sampler import TimeseriesSampler
     from repro.obs.tracer import Tracer
+
+#: Objstore span ids live far above the background pool's job-id spans so
+#: the two async-span families never collide within one tracer.
+_OBJSTORE_SPAN_BASE = 1_000_000_000
 
 
 class Runtime:
@@ -58,6 +64,9 @@ class Runtime:
         self.faults: Optional["FaultInjector"] = None
         #: Crash-point scheduler; None until :meth:`arm_crash_points`.
         self.crash_points: Optional["CrashPoints"] = None
+        #: Shared object store; None until :meth:`attach_objstore`.
+        self.objstore: Optional["SimObjectStore"] = None
+        self._objstore_span = _OBJSTORE_SPAN_BASE
 
     # ---------------------------------------------------------- observability
     def attach_tracer(self, tracer: "Tracer") -> None:
@@ -195,6 +204,130 @@ class Runtime:
             return 0.0
         self.disk.bg_count(nbytes_read=miss_bytes, seeks=1)
         return self.disk.io_time(nbytes_read=miss_bytes, bulk_seeks=1)
+
+    # ----------------------------------------------------------- object store
+    def attach_objstore(self, store: "SimObjectStore") -> None:
+        """Point this stack at a shared object store (idempotent)."""
+        self.objstore = store
+
+    def _objstore_or_raise(self) -> "SimObjectStore":
+        if self.objstore is None:
+            raise ConfigError("no object store attached to this runtime")
+        return self.objstore
+
+    def _objstore_span_id(self) -> int:
+        self._objstore_span += 1
+        return self._objstore_span
+
+    @effects("CLOCK_ADVANCE", "OBJSTORE_CHARGE", "SPAN_BEGIN", "SPAN_END",
+             "STATE_MUTATE")
+    def objstore_put(self, name: str, nbytes: int) -> float:
+        """Foreground object upload (manifest-log entries); elapsed time."""
+        store = self._objstore_or_raise()
+        tracer = self.tracer
+        span = 0
+        if tracer.enabled:
+            span = self._objstore_span_id()
+            tracer.begin("objstore", "objstore:put", span, obj=name,
+                         nbytes=nbytes)
+        elapsed, queued = store.put(name, nbytes)
+        self.metrics.add_objstore_up(nbytes)
+        self.metrics.bump("objstore:put")
+        if queued > 0.0:
+            self.metrics.add_stall("objstore-append", queued)
+        if tracer.enabled:
+            tracer.end("objstore", "objstore:put", span)
+        return elapsed
+
+    @effects("CLOCK_ADVANCE", "OBJSTORE_CHARGE", "SPAN_BEGIN", "SPAN_END",
+             "STATE_MUTATE")
+    def objstore_get(self, name: str) -> float:
+        """Foreground object download (bootstrap/catch-up); elapsed time."""
+        store = self._objstore_or_raise()
+        nbytes = store.size_of(name)
+        tracer = self.tracer
+        span = 0
+        if tracer.enabled:
+            span = self._objstore_span_id()
+            tracer.begin("objstore", "objstore:get", span, obj=name,
+                         nbytes=nbytes)
+        elapsed, queued = store.get(name)
+        self.metrics.add_objstore_down(nbytes)
+        self.metrics.bump("objstore:get")
+        if queued > 0.0:
+            self.metrics.add_stall("objstore-fetch", queued)
+        if tracer.enabled:
+            tracer.end("objstore", "objstore:get", span)
+        return elapsed
+
+    @effects("CLOCK_ADVANCE", "OBJSTORE_CHARGE", "SPAN_BEGIN", "SPAN_END",
+             "STATE_MUTATE")
+    def objstore_read_fill(self, nbytes: int, requests: int) -> float:
+        """Charge ranged GETs filling the page cache (tiered reads)."""
+        store = self._objstore_or_raise()
+        tracer = self.tracer
+        span = 0
+        if tracer.enabled:
+            span = self._objstore_span_id()
+            tracer.begin("objstore", "objstore:get", span, nbytes=nbytes,
+                         requests=requests)
+        elapsed, queued = store.read_fill(nbytes, requests)
+        self.metrics.add_objstore_down(nbytes)
+        self.metrics.bump("objstore:get", requests)
+        if queued > 0.0:
+            self.metrics.add_stall("objstore-fetch", queued)
+        if tracer.enabled:
+            tracer.end("objstore", "objstore:get", span)
+        return elapsed
+
+    @effects("CLOCK_ADVANCE", "OBJSTORE_CHARGE", "SPAN_BEGIN", "SPAN_END",
+             "STATE_MUTATE")
+    def objstore_list(self, prefix: str) -> List[str]:
+        """Foreground prefix listing (recovery, bootstrap discovery)."""
+        store = self._objstore_or_raise()
+        tracer = self.tracer
+        span = 0
+        if tracer.enabled:
+            span = self._objstore_span_id()
+            tracer.begin("objstore", "objstore:list", span, prefix=prefix)
+        names, _ = store.list_prefix(prefix)
+        self.metrics.bump("objstore:list")
+        if tracer.enabled:
+            tracer.end("objstore", "objstore:list", span, names=len(names))
+        return names
+
+    @effects("CLOCK_ADVANCE", "OBJSTORE_CHARGE", "STATE_MUTATE")
+    def objstore_delete(self, name: str) -> float:
+        """Foreground object delete (recovery orphan sweep); elapsed time."""
+        store = self._objstore_or_raise()
+        elapsed = store.delete(name)
+        self.metrics.bump("objstore:delete")
+        if self.tracer.enabled:
+            self.tracer.instant("objstore", "objstore:delete", obj=name)
+        return elapsed
+
+    @effects("OBJSTORE_CHARGE", "STATE_MUTATE")
+    def objstore_reserve_put(self, name: str, nbytes: int) -> float:
+        """Background object upload (MSTable mirroring); returns its tail."""
+        store = self._objstore_or_raise()
+        tail = store.reserve_put(name, nbytes)
+        self.metrics.add_objstore_up(nbytes)
+        self.metrics.bump("objstore:put")
+        if self.tracer.enabled:
+            self.tracer.instant("objstore", "objstore:put", obj=name,
+                                nbytes=nbytes, background=1)
+        return tail
+
+    @effects("OBJSTORE_CHARGE", "STATE_MUTATE")
+    def objstore_reserve_delete(self, name: str) -> float:
+        """Background object delete (tombstone cleanup); returns its tail."""
+        store = self._objstore_or_raise()
+        tail = store.reserve_delete(name)
+        self.metrics.bump("objstore:delete")
+        if self.tracer.enabled:
+            self.tracer.instant("objstore", "objstore:delete", obj=name,
+                                background=1)
+        return tail
 
     # ------------------------------------------------------------------ files
     def create_file(self) -> SimFile:

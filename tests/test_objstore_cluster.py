@@ -1,0 +1,189 @@
+"""Cluster integration of the shared-storage tier.
+
+Pins the headline contracts of the objstore subsystem: follower bootstrap
+costs the leader zero network bytes for the flushed prefix, time-travel
+reads serve the exact historical state, leader failover recovers the tier
+off the shared manifest log, the report surfaces store telemetry, and
+compaction offload drains compaction device time on the shared disk.
+"""
+
+import pytest
+
+from tests.conftest import tiny_iam_options, tiny_storage_options
+from repro.cluster import ClusterDB, ClusterOptions
+from repro.common.errors import ConfigError
+from repro.objstore import ObjStoreOptions
+
+
+def _cluster(*, replicas=2, store=None, **kw):
+    return ClusterDB(ClusterOptions(
+        n_shards=1, n_replicas=replicas,
+        engine_options=tiny_iam_options(),
+        storage_options=tiny_storage_options(),
+        objstore=store if store is not None else ObjStoreOptions(),
+        **kw))
+
+
+KEYS = [(0x9E3779B97F4A7C15 * (i + 1)) % 2 ** 64 for i in range(40)]
+
+
+def _load(cluster, model, n, base=0):
+    for i in range(n):
+        key = KEYS[i % len(KEYS)]
+        value = base + 16 + (i % 50)
+        cluster.put(key, value)
+        model[key] = value
+
+
+def _leader_link_bytes(cluster):
+    leader = cluster.router.shards[0].group.leader.node_id
+    return sum(v for (src, _dst), v in cluster.network.link_bytes.items()
+               if src == leader)
+
+
+def test_follower_bootstrap_ships_zero_leader_bytes_for_flushed_prefix():
+    cluster = _cluster()
+    model = {}
+    _load(cluster, model, 150)
+    cluster.flush()
+    cluster.quiesce()
+    before = _leader_link_bytes(cluster)
+    boot = cluster.spawn_follower(0, mode="objstore")
+    after = _leader_link_bytes(cluster)
+    # Everything flushed came from shared storage, nothing from the leader.
+    assert boot["mode"] == "objstore"
+    assert boot["wal_tail_records"] == 0
+    assert after == before
+    assert boot["objects_fetched"] > 0
+    assert boot["store_bytes_down"] > 0
+    follower = cluster.router.shards[0].group.replicas[-1].db
+    assert follower._seq == cluster.router.shards[0].group.leader.db._seq
+    for key, want in sorted(model.items()):
+        assert follower.get(key) == want
+    cluster.check_invariants()
+    cluster.close()
+
+
+def test_follower_bootstrap_ships_only_the_unflushed_tail():
+    cluster = _cluster()
+    model = {}
+    _load(cluster, model, 120)
+    cluster.flush()
+    cluster.quiesce()
+    _load(cluster, model, 7, base=500)  # a small unflushed WAL tail
+    # The tiny memtable may have flushed again mid-tail; whatever the
+    # latest cut covers at spawn time is the flushed prefix.
+    flushed_seq = cluster.manifest_logs[0].latest_cut().seq
+    boot = cluster.spawn_follower(0, mode="objstore")
+    assert boot["bootstrap_seq"] == flushed_seq
+    assert boot["wal_tail_records"] == \
+        cluster.router.shards[0].group.leader.db._seq - flushed_seq
+    follower = cluster.router.shards[0].group.replicas[-1].db
+    for key, want in sorted(model.items()):
+        assert follower.get(key) == want
+    cluster.close()
+
+
+def test_time_travel_reads_serve_the_recorded_cut():
+    cluster = _cluster(objstore_retain_cuts=64)
+    model = {}
+    _load(cluster, model, 150)
+    cluster.flush()
+    cluster.quiesce()
+    frozen = dict(model)
+    cut_id = cluster.manifest_logs[0].latest_cut().cut_id
+    # Overwrite everything; the cut must still serve the old values.
+    _load(cluster, model, 150, base=100)
+    cluster.flush()
+    cluster.quiesce()
+    for key in sorted(frozen):
+        assert cluster.get(key, as_of_cut=cut_id) == frozen[key]
+        assert cluster.get(key) == model[key]
+    assert model[KEYS[0]] != frozen[KEYS[0]]
+    cluster.close()
+
+
+def test_time_travel_requires_a_retained_cut():
+    cluster = _cluster()
+    model = {}
+    _load(cluster, model, 30)
+    cluster.flush()
+    cluster.quiesce()
+    with pytest.raises(ConfigError):
+        cluster.get(KEYS[0], as_of_cut=10_000)
+    plain = ClusterDB(ClusterOptions(
+        n_shards=1, n_replicas=1,
+        engine_options=tiny_iam_options(),
+        storage_options=tiny_storage_options()))
+    with pytest.raises(ConfigError):
+        plain.get(KEYS[0], as_of_cut=1)
+    plain.close()
+    cluster.close()
+
+
+def test_failover_recovers_the_tier_off_the_shared_log():
+    cluster = _cluster(replicas=3)
+    model = {}
+    _load(cluster, model, 150)
+    cluster.flush()
+    cluster.quiesce()
+    report = cluster.crash_leader(0)
+    assert "objstore_recovery" in report
+    recovery = report["objstore_recovery"]
+    assert recovery["cuts"] > 0
+    cluster.check_invariants()
+    for key, want in sorted(model.items()):
+        assert cluster.get(key) == want
+    # The promoted leader mirrors under its own node tag: further
+    # checkpoints keep appending to the same shared log.
+    before = cluster.manifest_logs[0].latest_cut().cut_id
+    _load(cluster, model, 80, base=2000)
+    cluster.flush()
+    cluster.quiesce()
+    assert cluster.manifest_logs[0].latest_cut().cut_id > before
+    cluster.check_invariants()
+    cluster.close()
+
+
+def test_stats_surface_the_objstore_section():
+    cluster = _cluster()
+    model = {}
+    _load(cluster, model, 100)
+    cluster.flush()
+    cluster.quiesce()
+    stats = cluster.stats()
+    section = stats["objstore"]
+    assert section["objects"] > 0
+    assert section["bytes_up"] > 0
+    assert section["manifest_logs"][0]["latest_cut_id"] >= 1
+    assert section["compaction_offload"] is False
+    cluster.close()
+
+
+def test_compaction_offload_runs_and_uses_the_shared_disk():
+    from tests.conftest import tiny_lsm_options
+
+    # The leveldb engine compacts through background pool jobs, so its
+    # compaction debt visibly lands on the shared offload disk.
+    offloaded = ClusterDB(ClusterOptions(
+        n_shards=1, n_replicas=2, engine="leveldb",
+        engine_options=tiny_lsm_options(),
+        storage_options=tiny_storage_options(),
+        objstore=ObjStoreOptions(), compaction_offload=True))
+    model = {}
+    _load(offloaded, model, 300)
+    offloaded.flush()
+    offloaded.quiesce()
+    assert offloaded.offload_disk is not None
+    # Compaction device time drained on the shared disk, not the leader's.
+    assert offloaded.offload_disk.busy_until > 0.0
+    for key, want in sorted(model.items()):
+        assert offloaded.get(key) == want
+    offloaded.check_invariants()
+    assert offloaded.stats()["objstore"]["compaction_offload"] is True
+    offloaded.close()
+
+
+def test_compaction_offload_requires_the_store():
+    with pytest.raises(ConfigError):
+        ClusterOptions(n_shards=1, n_replicas=1, compaction_offload=True)

@@ -42,7 +42,8 @@ def test_source_emits_at_least_the_known_reasons():
     reasons = emitted_reasons()
     for expected in ("memtable-rotation", "explicit-flush", "l0-stop",
                      "router-admission", "fault-degraded",
-                     "pace:token-bucket", "slowdown:l0", "slowdown:debt"):
+                     "pace:token-bucket", "slowdown:l0", "slowdown:debt",
+                     "objstore-append", "objstore-fetch"):
         assert expected in reasons, f"emit site for {expected!r} disappeared"
 
 
@@ -68,4 +69,4 @@ def test_unknown_reasons_stay_visible_in_other():
 
 def test_classes_are_the_documented_fixed_set():
     assert STALL_CLASSES == ("write-gate", "pacing", "flush-wait", "l0-stop",
-                             "pool-queue", "network", "other")
+                             "pool-queue", "network", "objstore", "other")
